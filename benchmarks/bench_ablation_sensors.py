@@ -1,0 +1,105 @@
+"""Ablation bench — adversarial sensor quality (Section IV-A trade-off).
+
+The paper frames the camera/IMU choice as precision vs. covertness. This
+ablation stresses the covert side: the learned IMU attacker is evaluated
+with increasing sensor noise (consumer-grade MEMS bias/white noise),
+measuring how much attack effectiveness the covert channel retains; and
+the camera attacker is evaluated through coarser grids by re-using the
+oracle at reduced observation ranges as a proxy for a degraded view.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ImuAttackObservation,
+    InjectionChannel,
+    InjectionChannelConfig,
+    LearnedAttacker,
+    OracleAttacker,
+)
+from repro.eval import run_episodes, success_rate
+from repro.experiments import registry
+from repro.experiments.common import Table, fmt
+from repro.sensors import GaussianNoise
+
+IMU_NOISE = (0.0, 0.05, 0.2, 0.8)
+ORACLE_RANGES = (25.0, 15.0, 8.0)
+
+
+@pytest.mark.experiment
+def test_imu_noise_ablation(benchmark, artifacts_ready):
+    def sweep():
+        rows = []
+        base = registry.imu_attacker(1.0)
+        for std in IMU_NOISE:
+            def attacker_factory(std=std):
+                noise = (
+                    GaussianNoise(
+                        std=std,
+                        bias_std=std / 4.0,
+                        rng=np.random.default_rng(77),
+                    )
+                    if std > 0.0
+                    else None
+                )
+                return LearnedAttacker(
+                    base.policy,
+                    ImuAttackObservation(noise=noise),
+                    channel=InjectionChannel(
+                        InjectionChannelConfig(budget=1.0)
+                    ),
+                    name="imu",
+                )
+
+            results = run_episodes(
+                registry.e2e_victim, attacker_factory, n_episodes=8, seed=888
+            )
+            rows.append(
+                (
+                    std,
+                    success_rate(results),
+                    float(np.mean([r.adversarial_return for r in results])),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        "Ablation — IMU sensor noise vs attack effectiveness",
+        ["noise std", "success", "adv return"],
+    )
+    for std, success, adv in rows:
+        table.add(fmt(std), fmt(success), fmt(adv, 1))
+    table.show()
+
+    by_std = {std: success for std, success, _ in rows}
+    # Moderate MEMS-grade noise does not disable the covert attack.
+    assert by_std[0.05] >= by_std[0.0] - 0.4
+
+
+@pytest.mark.experiment
+def test_oracle_observation_range_ablation(benchmark, artifacts_ready):
+    def sweep():
+        rows = []
+        for max_range in ORACLE_RANGES:
+            results = run_episodes(
+                registry.e2e_victim,
+                lambda r=max_range: OracleAttacker(budget=1.0, max_range=r),
+                n_episodes=8,
+                seed=999,
+            )
+            rows.append((max_range, success_rate(results)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        "Ablation — attacker observation range (oracle, budget 1.0)",
+        ["max range (m)", "success"],
+    )
+    for max_range, success in rows:
+        table.add(fmt(max_range, 0), fmt(success))
+    table.show()
+    # A severely truncated view still attacks (the kill window is close).
+    by_range = {r: s for r, s in rows}
+    assert by_range[8.0] > 0.0

@@ -1,0 +1,44 @@
+"""Fig. 4 bench — attack effects under various attack configurations.
+
+Reproduces both panels: (a) nominal driving reward and (b) adversarial
+reward distributions across attack budgets {0, 0.25, 0.5, 0.75, 1.0} for
+the camera- and IMU-based attacks on the end-to-end agent (30 episodes
+per cell, as in the paper).
+"""
+
+import pytest
+
+from repro.experiments import fig4
+
+
+@pytest.mark.experiment
+def test_fig4_attack_budget_sweep(benchmark, artifacts_ready):
+    result = benchmark.pedantic(
+        lambda: fig4.run(n_episodes=30), rounds=1, iterations=1
+    )
+    result.table().show()
+    print(
+        f"camera eps=1 reward reduction: "
+        f"{100 * result.reward_reduction('camera'):.1f}% (paper: ~84%)"
+    )
+
+    # Panel (a): the camera attack at full budget collapses the driving
+    # reward by the paper's headline margin.
+    assert result.reward_reduction("camera") > 0.6
+
+    # Panel (b): nominal driving yields a negative adversarial reward.
+    assert result.cell("camera", 0.0).adversarial.mean < 0.0
+
+    # Camera >= IMU in mean adversarial reward at matched high budgets.
+    for budget in (0.5, 0.75, 1.0):
+        camera_cell = result.cell("camera", budget)
+        imu_cell = result.cell("imu", budget)
+        assert camera_cell.adversarial.mean >= imu_cell.adversarial.mean - 2.0
+
+    # Sharp transition between eps=0.25 and eps=0.75 (both attackers).
+    for attacker in ("camera", "imu"):
+        low = result.cell(attacker, 0.25)
+        high = result.cell(attacker, 0.75)
+        assert low.success <= 0.2
+        assert high.success >= 0.6
+        assert low.nominal.mean > 3.0 * high.nominal.mean

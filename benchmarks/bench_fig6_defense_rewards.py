@@ -1,0 +1,49 @@
+"""Fig. 6 bench — nominal driving rewards of original and enhanced agents.
+
+Evaluates pi_ori, pi_adv,rho=1/11, pi_adv,rho=1/2, pi_pnn,sigma=0.2 and
+pi_pnn,sigma=0.4 under camera attacks with budgets {0, 0.25, 0.5, 0.75, 1}.
+"""
+
+import pytest
+
+from repro.experiments import fig6
+
+
+@pytest.mark.experiment
+def test_fig6_defense_reward_distributions(benchmark, artifacts_ready):
+    result = benchmark.pedantic(
+        lambda: fig6.run(n_episodes=10), rounds=1, iterations=1
+    )
+    result.table().show()
+
+    original_mid = result.cell("original", 0.5).nominal.mean
+    # Every enhanced agent noticeably raises the mean nominal reward under
+    # the mid-budget attack.
+    for agent in (
+        "finetuned rho=1/11",
+        "finetuned rho=1/2",
+        "pnn sigma=0.2",
+        "pnn sigma=0.4",
+    ):
+        assert result.cell(agent, 0.5).nominal.mean > original_mid + 20.0
+
+    # Catastrophic forgetting: fine-tuning sacrifices nominal driving; the
+    # nominal-heavy mix (rho = 1/2) sacrifices less than rho = 1/11.
+    original_clean = result.cell("original", 0.0).nominal.mean
+    ft11_clean = result.cell("finetuned rho=1/11", 0.0).nominal.mean
+    ft2_clean = result.cell("finetuned rho=1/2", 0.0).nominal.mean
+    assert ft11_clean < original_clean - 2.0
+    assert ft11_clean <= ft2_clean + 1.0
+
+    # The PNN switcher keeps nominal driving exactly intact at zero budget
+    # (it routes to pi_ori below sigma).
+    for agent in ("pnn sigma=0.2", "pnn sigma=0.4"):
+        clean = result.cell(agent, 0.0).nominal.mean
+        assert abs(clean - original_clean) < 1e-9
+
+    # The two PNN agents coincide once the budget exceeds both sigmas
+    # (they share the same adversarial column).
+    for budget in (0.5, 0.75, 1.0):
+        a = result.cell("pnn sigma=0.2", budget).nominal.mean
+        b = result.cell("pnn sigma=0.4", budget).nominal.mean
+        assert abs(a - b) < 1e-9

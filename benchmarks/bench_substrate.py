@@ -1,0 +1,64 @@
+"""Substrate micro-benchmarks: simulator tick rate, sensor rendering and
+SAC update throughput. These are conventional pytest-benchmark timings
+(multiple rounds) rather than experiment reproductions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents.modular import ModularAgent
+from repro.rl import Sac, SacConfig
+from repro.sensors import BevCamera, Imu
+from repro.sim import Control, make_world
+
+
+@pytest.fixture()
+def ticking_world():
+    world = make_world(rng=np.random.default_rng(0))
+    agent = ModularAgent(world.road)
+    agent.reset(world)
+    return world, agent
+
+
+def test_world_tick_rate(benchmark, ticking_world):
+    world, agent = ticking_world
+
+    def tick():
+        if world.done:
+            return
+        world.tick(agent.act(world))
+
+    benchmark(tick)
+
+
+def test_bev_camera_render(benchmark):
+    world = make_world(rng=np.random.default_rng(1))
+    camera = BevCamera()
+    benchmark(lambda: camera.render(world))
+
+
+def test_imu_observe(benchmark):
+    world = make_world(rng=np.random.default_rng(2))
+    world.tick(Control(thrust=0.2))
+    imu = Imu()
+    benchmark(lambda: imu.observe(world))
+
+
+def test_sac_update_throughput(benchmark):
+    config = SacConfig(hidden=(128, 128), batch_size=128, buffer_capacity=5_000)
+    sac = Sac(455, 2, config, rng=np.random.default_rng(3))
+    rng = np.random.default_rng(4)
+    for _ in range(300):
+        sac.observe(
+            rng.normal(size=455), rng.uniform(-1, 1, 2), rng.normal(),
+            rng.normal(size=455), False,
+        )
+    benchmark(sac.update)
+
+
+def test_policy_inference(benchmark):
+    from repro.rl.policy import SquashedGaussianPolicy
+
+    policy = SquashedGaussianPolicy(455, 2, (128, 128))
+    obs = np.random.default_rng(5).normal(size=455)
+    benchmark(lambda: policy.act(obs, deterministic=True))

@@ -1,0 +1,42 @@
+"""Benchmark-suite configuration.
+
+Every figure/table of the paper's evaluation has one bench module. The
+benches evaluate the shipped checkpoints in ``artifacts/`` (regenerate
+with ``python examples/train_all.py``) and print the reproduced rows next
+to the paper's reference values; pytest-benchmark records the wall-clock
+of one full experiment run.
+
+Run:  pytest benchmarks/ --benchmark-only
+      pytest benchmarks/ --benchmark-only -s   # also show the reproduced tables
+(`examples/reproduce_all.py` writes the same tables into EXPERIMENTS.md.)
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment: full paper-experiment reproduction bench"
+    )
+
+
+@pytest.fixture(scope="session")
+def artifacts_ready():
+    """Skip experiment benches cleanly when checkpoints are missing."""
+    from repro.experiments import registry
+
+    required = [
+        registry.E2E_DRIVER,
+        registry.CAMERA_ATTACKER_E2E,
+        registry.CAMERA_ATTACKER_MODULAR,
+        registry.IMU_ATTACKER,
+        registry.FINETUNED_RHO_11,
+        registry.FINETUNED_RHO_2,
+        registry.PNN_COLUMN,
+    ]
+    missing = [name for name in required if not registry.has_artifact(name)]
+    if missing:
+        pytest.skip(
+            f"missing artifacts {missing}; run `python examples/train_all.py`"
+        )
+    return True

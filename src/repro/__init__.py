@@ -1,0 +1,15 @@
+"""repro — reproduction of "Susceptibility of Autonomous Driving Agents to
+Learning-Based Action-Space Attacks" (DSN 2023).
+
+Subpackages:
+    sim: freeway driving simulator (CARLA substitute).
+    sensors: semantic-segmentation camera and IMU models.
+    agents: modular PID pipeline and end-to-end DRL driving agents.
+    rl: numpy DRL substrate (autodiff, SAC, behaviour cloning, PNN).
+    core: the paper's contribution — learning-based action-space attacks.
+    defense: adversarial fine-tuning and PNN enhancement with a switcher.
+    eval: episode runner and metrics.
+    experiments: drivers regenerating every figure in the evaluation.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,5 @@
+"""Driving agents: the modular pipeline and the end-to-end DRL policy."""
+
+from repro.agents.base import DrivingAgent
+
+__all__ = ["DrivingAgent"]

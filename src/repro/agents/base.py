@@ -1,0 +1,26 @@
+"""The driving-agent interface shared by the modular and end-to-end agents."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.sim.vehicle import Control
+from repro.sim.world import World
+
+
+class DrivingAgent(abc.ABC):
+    """A victim driving policy: maps the world to a control command.
+
+    Both the modular pipeline and the end-to-end policy implement this
+    interface, so attacks and evaluation protocols are agent-agnostic.
+    """
+
+    #: Human-readable identifier used in experiment reports.
+    name: str = "agent"
+
+    @abc.abstractmethod
+    def act(self, world: World) -> Control:
+        """Compute the steering/thrust variation command for this tick."""
+
+    def reset(self, world: World) -> None:
+        """Prepare for a new episode (clear stacks, re-plan routes)."""

@@ -1,0 +1,29 @@
+"""End-to-end DRL driving agent: observation, reward, env, agent wrapper."""
+
+from repro.agents.e2e.agent import (
+    DRIVER_HIDDEN,
+    EndToEndAgent,
+    load_progressive,
+    save_progressive,
+)
+from repro.agents.e2e.env import DrivingEnv, SteerInjector
+from repro.agents.e2e.observation import POLICY_CAMERA, DrivingObservation
+from repro.agents.e2e.reward import (
+    DrivingReward,
+    DrivingRewardConfig,
+    RewardBreakdown,
+)
+
+__all__ = [
+    "DRIVER_HIDDEN",
+    "DrivingEnv",
+    "DrivingObservation",
+    "DrivingReward",
+    "DrivingRewardConfig",
+    "EndToEndAgent",
+    "POLICY_CAMERA",
+    "RewardBreakdown",
+    "SteerInjector",
+    "load_progressive",
+    "save_progressive",
+]

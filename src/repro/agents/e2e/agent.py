@@ -1,0 +1,103 @@
+"""The end-to-end driving agent: a learned policy behind the common
+:class:`~repro.agents.base.DrivingAgent` interface.
+
+Deployment mirrors the paper: the trained SAC policy is frozen and queried
+deterministically (the tanh mean) at every control tick.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.agents.base import DrivingAgent
+from repro.agents.e2e.observation import DrivingObservation
+from repro.rl.pnn import ProgressivePolicy
+from repro.rl.policy import SquashedGaussianPolicy
+from repro.sim.vehicle import Control
+from repro.sim.world import World
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+#: Hidden widths used by all shipped driving policies.
+DRIVER_HIDDEN = (128, 128)
+
+
+class EndToEndAgent(DrivingAgent):
+    """Wraps a squashed-Gaussian policy (or PNN column) as a driving agent."""
+
+    name = "end-to-end"
+
+    def __init__(
+        self,
+        policy,
+        observation: DrivingObservation | None = None,
+        deterministic: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.policy = policy
+        self.observation = observation or DrivingObservation()
+        self.deterministic = deterministic
+        self.rng = rng or np.random.default_rng(0)
+
+    def reset(self, world: World) -> None:
+        self.observation.reset()
+
+    def act(self, world: World) -> Control:
+        obs = self.observation.observe(world)
+        action = self.policy.act(
+            obs, deterministic=self.deterministic, rng=self.rng
+        )
+        return Control(steer=float(action[0]), thrust=float(action[1])).clipped()
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: str | Path, extra_meta: dict | None = None) -> Path:
+        """Persist the policy weights and architecture metadata."""
+        meta = {
+            "kind": "e2e-driver",
+            "obs_dim": self.policy.obs_dim,
+            "action_dim": self.policy.action_dim,
+            "hidden": list(self.policy.hidden),
+        }
+        meta.update(extra_meta or {})
+        return save_checkpoint(path, self.policy.state_dict(), meta)
+
+    @classmethod
+    def load(cls, path: str | Path, **kwargs) -> "EndToEndAgent":
+        """Restore an agent saved by :meth:`save`."""
+        arrays, meta = load_checkpoint(path)
+        policy = SquashedGaussianPolicy(
+            int(meta["obs_dim"]),
+            int(meta["action_dim"]),
+            tuple(meta.get("hidden", DRIVER_HIDDEN)),
+        )
+        policy.load_state_dict(arrays)
+        return cls(policy, **kwargs)
+
+
+def save_progressive(
+    policy: ProgressivePolicy, path: str | Path, extra_meta: dict | None = None
+) -> Path:
+    """Persist a two-column progressive policy (both columns)."""
+    meta = {
+        "kind": "pnn-driver",
+        "obs_dim": policy.obs_dim,
+        "action_dim": policy.action_dim,
+        "hidden": list(policy.hidden),
+    }
+    meta.update(extra_meta or {})
+    return save_checkpoint(path, policy.state_dict(), meta)
+
+
+def load_progressive(path: str | Path) -> ProgressivePolicy:
+    """Restore a progressive policy saved by :func:`save_progressive`."""
+    arrays, meta = load_checkpoint(path)
+    base = SquashedGaussianPolicy(
+        int(meta["obs_dim"]),
+        int(meta["action_dim"]),
+        tuple(meta.get("hidden", DRIVER_HIDDEN)),
+    )
+    policy = ProgressivePolicy(base)
+    policy.load_state_dict(arrays)
+    return policy

@@ -1,0 +1,30 @@
+"""Modular driving pipeline: route planning, behaviour, local planning, PID."""
+
+from repro.agents.modular.agent import ModularAgent, ModularAgentConfig
+from repro.agents.modular.behavior import (
+    BehaviorConfig,
+    BehaviorPlanner,
+    GlobalRoutePlanner,
+    LaneTransition,
+    Plan,
+)
+from repro.agents.modular.pid import (
+    LATERAL_GAINS,
+    LONGITUDINAL_GAINS,
+    Pid,
+    PidGains,
+)
+
+__all__ = [
+    "BehaviorConfig",
+    "BehaviorPlanner",
+    "GlobalRoutePlanner",
+    "LaneTransition",
+    "LATERAL_GAINS",
+    "LONGITUDINAL_GAINS",
+    "ModularAgent",
+    "ModularAgentConfig",
+    "Pid",
+    "PidGains",
+    "Plan",
+]

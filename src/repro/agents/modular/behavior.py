@@ -1,0 +1,221 @@
+"""Behavioural layer and local reference-path planner.
+
+This module implements the decision-making hierarchy of the modular
+pipeline (Section III-B): a behavioural layer that decides when to follow,
+overtake, or change lanes (tuned to the paper's *aggressive* freeway mode),
+and a local planner that turns those decisions into a smooth reference path
+``d_ref(s)`` plus a target speed.
+
+The same planner also serves as the *privileged agent* of the end-to-end
+reward shaping (Section III-C) and as the predetermined path against which
+trajectory deviation is measured in Figs. 5 and 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.road import Road
+from repro.sim.world import World
+
+
+@dataclass(frozen=True)
+class BehaviorConfig:
+    """Tuning of the aggressive freeway behaviour (Section III-B)."""
+
+    #: Cruise reference speed, m/s (paper: 16).
+    target_speed: float = 16.0
+    #: Distance ahead at which a slower leader triggers an overtake attempt.
+    overtake_trigger: float = 26.0
+    #: Bumper-to-bumper gap the ACC fallback tries to keep.
+    min_gap: float = 7.0
+    #: Required clear distance ahead in the target lane for a lane change.
+    change_front_gap: float = 13.0
+    #: Required clear distance behind in the target lane for a lane change.
+    change_rear_gap: float = 8.0
+    #: Nominal lane-change duration, seconds.
+    change_time: float = 1.6
+    #: Minimum lane-change length, meters.
+    min_change_distance: float = 16.0
+    #: ACC proportional gain on (gap - min_gap).
+    acc_gain: float = 0.6
+
+
+@dataclass(frozen=True)
+class LaneTransition:
+    """A smooth lateral blend between two lane offsets over ``[s0, s1]``."""
+
+    s0: float
+    d0: float
+    s1: float
+    d1: float
+
+    def offset(self, s: float) -> float:
+        """Cosine-blended lateral offset at arc-length ``s``."""
+        if s <= self.s0:
+            return self.d0
+        if s >= self.s1:
+            return self.d1
+        phase = (s - self.s0) / (self.s1 - self.s0)
+        return self.d0 + (self.d1 - self.d0) * 0.5 * (1.0 - math.cos(math.pi * phase))
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One tick's output of the behavioural layer."""
+
+    target_lane: int
+    target_speed: float
+    lane_offset: float
+    transition: LaneTransition | None
+
+    @property
+    def changing(self) -> bool:
+        return self.transition is not None
+
+    def reference_offset(self, s: float) -> float:
+        """The reference path's lateral offset ``d_ref`` at arc-length ``s``."""
+        if self.transition is not None:
+            return self.transition.offset(s)
+        return self.lane_offset
+
+
+class BehaviorPlanner:
+    """Stateful behaviour + local planning for the overtaking scenario.
+
+    Call :meth:`reset` at episode start and :meth:`update` once per control
+    tick. The planner only *observes* the world; it never actuates, so an
+    independent instance can shadow any victim agent to provide the
+    privileged reference path for rewards and deviation metrics.
+    """
+
+    def __init__(self, road: Road, config: BehaviorConfig | None = None) -> None:
+        self.road = road
+        self.config = config or BehaviorConfig()
+        self._target_lane = 0
+        self._transition: LaneTransition | None = None
+
+    @property
+    def target_lane(self) -> int:
+        return self._target_lane
+
+    def reset(self, world: World) -> None:
+        """Initialize the plan to the ego's spawn lane."""
+        _, d, _ = world.road.to_frenet(world.ego.state.position)
+        lane = world.road.lane_at(d)
+        self._target_lane = lane if lane is not None else 0
+        self._transition = None
+
+    def update(self, world: World) -> Plan:
+        """Advance the behavioural state machine and return this tick's plan."""
+        cfg = self.config
+        ego_s, _, _ = world.road.to_frenet(world.ego.state.position)
+        if self._transition is not None and ego_s >= self._transition.s1:
+            self._transition = None
+
+        target_speed = cfg.target_speed
+        if self._transition is None:
+            leader = self._leader(world, self._target_lane, ego_s)
+            if leader is not None:
+                gap = leader[0] - ego_s
+                if gap < cfg.overtake_trigger:
+                    started = self._try_lane_change(world, ego_s)
+                    if not started:
+                        target_speed = self._acc_speed(world, leader, ego_s)
+        else:
+            leader = self._leader(world, self._target_lane, ego_s)
+            if leader is not None and leader[0] - ego_s < cfg.overtake_trigger:
+                target_speed = self._acc_speed(world, leader, ego_s)
+
+        return Plan(
+            target_lane=self._target_lane,
+            target_speed=target_speed,
+            lane_offset=self.road.lane_offset(self._target_lane),
+            transition=self._transition,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _leader(
+        self, world: World, lane: int, ego_s: float
+    ) -> tuple[float, float] | None:
+        """Closest NPC ahead of the ego in ``lane``: ``(s, speed)`` or None."""
+        best: tuple[float, float] | None = None
+        for npc in world.npcs:
+            s, d, _ = world.road.to_frenet(npc.vehicle.state.position)
+            npc_lane = world.road.lane_at(d)
+            if npc_lane != lane or s <= ego_s:
+                continue
+            if best is None or s < best[0]:
+                best = (s, npc.vehicle.state.speed)
+        return best
+
+    def _lane_is_free(self, world: World, lane: int, ego_s: float) -> bool:
+        cfg = self.config
+        for npc in world.npcs:
+            s, d, _ = world.road.to_frenet(npc.vehicle.state.position)
+            if world.road.lane_at(d) != lane:
+                continue
+            if -cfg.change_rear_gap <= s - ego_s <= cfg.change_front_gap:
+                return False
+        return True
+
+    def _try_lane_change(self, world: World, ego_s: float) -> bool:
+        """Attempt an overtake; aggressive mode may use any adjacent lane."""
+        cfg = self.config
+        candidates = [self._target_lane + 1, self._target_lane - 1]
+        for lane in candidates:
+            if not 0 <= lane < self.road.n_lanes:
+                continue
+            if not self._lane_is_free(world, lane, ego_s):
+                continue
+            speed = max(world.ego.state.speed, 4.0)
+            distance = max(speed * cfg.change_time, cfg.min_change_distance)
+            _, ego_d, _ = world.road.to_frenet(world.ego.state.position)
+            self._transition = LaneTransition(
+                s0=ego_s,
+                d0=ego_d,
+                s1=ego_s + distance,
+                d1=self.road.lane_offset(lane),
+            )
+            self._target_lane = lane
+            return True
+        return False
+
+    def _acc_speed(
+        self, world: World, leader: tuple[float, float], ego_s: float
+    ) -> float:
+        """Adaptive-cruise fallback speed when boxed in behind a leader."""
+        cfg = self.config
+        gap = leader[0] - ego_s
+        leader_speed = leader[1]
+        speed = leader_speed + cfg.acc_gain * (gap - cfg.min_gap)
+        return float(np.clip(speed, 0.0, cfg.target_speed))
+
+
+class GlobalRoutePlanner:
+    """Route planning over the lane-graph (the hierarchy's top layer).
+
+    On a freeway the optimal route is simply "continue to the end of the
+    road", but the planner is a real Dijkstra search over the waypoint
+    graph so non-trivial maps route correctly.
+    """
+
+    def __init__(self, road: Road) -> None:
+        self.road = road
+
+    def plan(self, world: World, goal_lane: int | None = None) -> list:
+        """Waypoints from the ego's position to the end of the road."""
+        ego_s, ego_d, _ = world.road.to_frenet(world.ego.state.position)
+        lane = world.road.lane_at(ego_d)
+        if lane is None:
+            lane = 0
+        start = world.road.nearest_waypoint(lane, ego_s)
+        target_lane = goal_lane if goal_lane is not None else lane
+        goal = world.road.waypoints(target_lane)[-1]
+        return self.road.shortest_route(
+            (start.lane, start.index), (goal.lane, goal.index)
+        )

@@ -1,0 +1,67 @@
+"""PID controllers for the modular driving pipeline (Section III-B).
+
+The pipeline uses a longitudinal PID (speed -> thrust variation) and a
+lateral PID (bearing to a lookahead point on the reference path -> steering
+variation), mirroring CARLA Autopilot's ``VehiclePIDController``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PidGains:
+    """Proportional / integral / derivative gains."""
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+
+
+class Pid:
+    """A scalar PID loop with integral clamping and output saturation."""
+
+    def __init__(
+        self,
+        gains: PidGains,
+        dt: float,
+        output_limit: float = 1.0,
+        integral_limit: float = 1.0,
+    ) -> None:
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        self.gains = gains
+        self.dt = dt
+        self.output_limit = float(output_limit)
+        self.integral_limit = float(integral_limit)
+        self._integral = 0.0
+        self._last_error: float | None = None
+
+    def step(self, error: float) -> float:
+        """Advance the loop by one tick and return the saturated output."""
+        self._integral = float(
+            np.clip(
+                self._integral + error * self.dt,
+                -self.integral_limit,
+                self.integral_limit,
+            )
+        )
+        derivative = 0.0
+        if self._last_error is not None:
+            derivative = (error - self._last_error) / self.dt
+        self._last_error = error
+        g = self.gains
+        output = g.kp * error + g.ki * self._integral + g.kd * derivative
+        return float(np.clip(output, -self.output_limit, self.output_limit))
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._last_error = None
+
+
+#: Default gains tuned for the paper's aggressive freeway configuration.
+LATERAL_GAINS = PidGains(kp=1.9, ki=0.05, kd=0.25)
+LONGITUDINAL_GAINS = PidGains(kp=0.55, ki=0.08, kd=0.0)

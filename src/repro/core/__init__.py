@@ -1,0 +1,44 @@
+"""The paper's contribution: learning-based action-space attacks.
+
+Adversarial reward shaping (Section IV-D/E), the injection channel
+(Section IV-B/C), camera/IMU adversarial state spaces, the adversarial MDP
+used for SAC attack training, and the attackers themselves (scripted
+oracle baseline and the learned policy).
+"""
+
+from repro.core.attack_env import AttackEnv, VictimFactory
+from repro.core.attackers import (
+    ATTACKER_HIDDEN,
+    LearnedAttacker,
+    NullAttacker,
+    OracleAttacker,
+)
+from repro.core.injection import InjectionChannel, InjectionChannelConfig
+from repro.core.observations import CameraAttackObservation, ImuAttackObservation
+from repro.core.rewards import (
+    BETA,
+    AdversarialBreakdown,
+    AdversarialReward,
+    AdversarialRewardConfig,
+    collision_label,
+    critical_moment,
+)
+
+__all__ = [
+    "ATTACKER_HIDDEN",
+    "AttackEnv",
+    "AdversarialBreakdown",
+    "AdversarialReward",
+    "AdversarialRewardConfig",
+    "BETA",
+    "CameraAttackObservation",
+    "ImuAttackObservation",
+    "InjectionChannel",
+    "InjectionChannelConfig",
+    "LearnedAttacker",
+    "NullAttacker",
+    "OracleAttacker",
+    "VictimFactory",
+    "collision_label",
+    "critical_moment",
+]

@@ -1,0 +1,188 @@
+"""Attack policies: the scripted oracle baseline and the learned attacker.
+
+Every attacker implements the :class:`~repro.agents.e2e.env.SteerInjector`
+protocol — ``reset(world)`` then ``delta(world, control)`` once per tick —
+so victims and evaluation protocols never see attack internals.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.injection import InjectionChannel, InjectionChannelConfig
+from repro.core.observations import CameraAttackObservation, ImuAttackObservation
+from repro.core.rewards import BETA, _omega
+from repro.rl.policy import SquashedGaussianPolicy
+from repro.sensors.base import Sensor
+from repro.sim.vehicle import Control
+from repro.sim.world import World
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+#: Hidden widths used by all shipped attack policies.
+ATTACKER_HIDDEN = (128, 128)
+
+
+class NullAttacker:
+    """No attack: the epsilon = 0 baseline."""
+
+    name = "none"
+    budget = 0.0
+
+    def reset(self, world: World) -> None:
+        """Nothing to prepare."""
+
+    def delta(self, world: World, control: Control) -> float:
+        return 0.0
+
+    @property
+    def mean_effort(self) -> float:
+        return 0.0
+
+
+class OracleAttacker:
+    """Geometry-aware scripted attacker (model-based baseline).
+
+    Uses privileged world state: inside the critical window of Section IV-D
+    it steers the ego toward the nearest NPC at full budget; outside it
+    stays silent. Serves both as the comparison baseline and as the
+    behaviour-cloning teacher that warm-starts the learned camera attacker.
+    """
+
+    name = "oracle"
+
+    def __init__(
+        self,
+        budget: float = 1.0,
+        beta: float = BETA,
+        #: Only act when the target NPC is within this range, meters.
+        max_range: float = 25.0,
+    ) -> None:
+        self.channel = InjectionChannel(InjectionChannelConfig(budget=budget))
+        self.beta = float(beta)
+        self.max_range = float(max_range)
+
+    @property
+    def budget(self) -> float:
+        return self.channel.budget
+
+    @property
+    def mean_effort(self) -> float:
+        return self.channel.mean_effort
+
+    def reset(self, world: World) -> None:
+        self.channel.reset()
+
+    def normalized_action(self, world: World) -> float:
+        """The oracle's decision in [-1, 1] (before budget scaling)."""
+        npc = world.nearest_npc()
+        if npc is None:
+            return 0.0
+        ego = world.ego
+        offset = npc.vehicle.state.position - ego.state.position
+        if float(np.linalg.norm(offset)) > self.max_range:
+            return 0.0
+        omega = _omega(world)
+        if omega is None or abs(omega) > self.beta:
+            return 0.0
+        # Steer toward the target: positive steer turns right (toward
+        # negative lateral offsets in the ego frame).
+        local = ego.footprint().to_local(npc.vehicle.state.position)
+        return -1.0 if local[1] > 0.0 else 1.0
+
+    def delta(self, world: World, control: Control) -> float:
+        return self.channel.inject(self.normalized_action(world))
+
+
+class LearnedAttacker:
+    """A DRL attack policy behind a sensor and the injection channel."""
+
+    def __init__(
+        self,
+        policy: SquashedGaussianPolicy,
+        sensor: Sensor,
+        channel: InjectionChannel | None = None,
+        name: str = "learned",
+        deterministic: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.policy = policy
+        self.sensor = sensor
+        self.channel = channel or InjectionChannel()
+        self.name = name
+        self.deterministic = deterministic
+        self.rng = rng or np.random.default_rng(0)
+
+    @property
+    def budget(self) -> float:
+        return self.channel.budget
+
+    @property
+    def mean_effort(self) -> float:
+        return self.channel.mean_effort
+
+    def with_budget(self, budget: float) -> "LearnedAttacker":
+        """A copy of this attacker operating under a different budget."""
+        return LearnedAttacker(
+            policy=self.policy,
+            sensor=self.sensor,
+            channel=InjectionChannel(InjectionChannelConfig(budget=budget)),
+            name=self.name,
+            deterministic=self.deterministic,
+            rng=self.rng,
+        )
+
+    def reset(self, world: World) -> None:
+        self.sensor.reset()
+        self.channel.reset()
+
+    def normalized_action(self, world: World) -> float:
+        obs = self.sensor.observe(world)
+        action = self.policy.act(
+            obs, deterministic=self.deterministic, rng=self.rng
+        )
+        return float(action[0])
+
+    def delta(self, world: World, control: Control) -> float:
+        return self.channel.inject(self.normalized_action(world))
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path: str | Path, extra_meta: dict | None = None) -> Path:
+        meta = {
+            "kind": f"attacker-{self.name}",
+            "obs_dim": self.policy.obs_dim,
+            "action_dim": self.policy.action_dim,
+            "hidden": list(self.policy.hidden),
+            "sensor": type(self.sensor).__name__,
+        }
+        meta.update(extra_meta or {})
+        return save_checkpoint(path, self.policy.state_dict(), meta)
+
+    @classmethod
+    def load(
+        cls, path: str | Path, budget: float = 1.0, **kwargs
+    ) -> "LearnedAttacker":
+        """Restore an attacker; the sensor is rebuilt from metadata."""
+        arrays, meta = load_checkpoint(path)
+        policy = SquashedGaussianPolicy(
+            int(meta["obs_dim"]),
+            int(meta["action_dim"]),
+            tuple(meta.get("hidden", ATTACKER_HIDDEN)),
+        )
+        policy.load_state_dict(arrays)
+        sensor_name = meta.get("sensor", "CameraAttackObservation")
+        if sensor_name == "ImuAttackObservation":
+            sensor: Sensor = ImuAttackObservation()
+            name = "imu"
+        else:
+            sensor = CameraAttackObservation()
+            name = "camera"
+        return cls(
+            policy,
+            sensor,
+            channel=InjectionChannel(InjectionChannelConfig(budget=budget)),
+            name=meta.get("name", name),
+            **kwargs,
+        )

@@ -1,0 +1,48 @@
+"""Evaluation: the canonical episode runner and the paper's metrics."""
+
+from repro.eval.episodes import EpisodeResult, run_episode, run_episodes
+from repro.eval.recorder import Trajectory, record_episode
+from repro.eval.statistics import (
+    Comparison,
+    bootstrap_mean_ci,
+    compare_nominal_rewards,
+    mann_whitney,
+    success_rate_ci,
+)
+from repro.eval.metrics import (
+    HUMAN_REACTION_TIME,
+    BoxStats,
+    TimeToCollisionStats,
+    adversarial_reward_stats,
+    collision_rate,
+    effort_windows,
+    mean_deviation_rmse,
+    nominal_reward_stats,
+    reward_reduction,
+    success_rate,
+    time_to_collision_stats,
+)
+
+__all__ = [
+    "BoxStats",
+    "Comparison",
+    "EpisodeResult",
+    "Trajectory",
+    "bootstrap_mean_ci",
+    "compare_nominal_rewards",
+    "mann_whitney",
+    "record_episode",
+    "success_rate_ci",
+    "HUMAN_REACTION_TIME",
+    "TimeToCollisionStats",
+    "adversarial_reward_stats",
+    "collision_rate",
+    "effort_windows",
+    "mean_deviation_rmse",
+    "nominal_reward_stats",
+    "reward_reduction",
+    "run_episode",
+    "run_episodes",
+    "success_rate",
+    "time_to_collision_stats",
+]

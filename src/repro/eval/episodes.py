@@ -1,0 +1,160 @@
+"""The canonical episode runner used by training, experiments and benches.
+
+Runs one victim agent (modular or end-to-end) under an optional attacker
+and records every metric the paper reports: nominal shaped driving reward,
+cumulative adversarial reward, collision outcome, NPCs passed, trajectory
+deviation from the privileged reference path, attack effort, and the time
+from attack initiation to collision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.agents.base import DrivingAgent
+from repro.agents.e2e.reward import DrivingReward, DrivingRewardConfig
+from repro.agents.modular.behavior import BehaviorPlanner
+from repro.core.attackers import NullAttacker
+from repro.core.injection import ACTIVE_THRESHOLD
+from repro.core.rewards import AdversarialReward, AdversarialRewardConfig
+from repro.sim.collision import Collision, CollisionKind
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import make_world
+from repro.sim.world import World
+
+VictimFactory = Callable[[World], DrivingAgent]
+
+
+@dataclass(frozen=True)
+class EpisodeResult:
+    """Everything measured in one evaluation episode."""
+
+    steps: int
+    duration: float
+    collision: Collision | None
+    passed_npcs: int
+    nominal_return: float
+    adversarial_return: float
+    #: Mean |delta| over active attack steps (Fig. 5 / 7 x-axis).
+    mean_effort: float
+    #: RMSE of lateral deviation from the reference path, normalized by
+    #: the lane width (Fig. 5 / 7 y-axis).
+    deviation_rmse: float
+    #: Largest instantaneous normalized deviation.
+    deviation_max: float
+    #: Seconds from the first injected perturbation to the collision
+    #: (None when no attack was injected or no collision happened).
+    time_to_collision: float | None
+
+    @property
+    def side_collision(self) -> bool:
+        return (
+            self.collision is not None
+            and self.collision.kind is CollisionKind.SIDE
+        )
+
+    @property
+    def attack_successful(self) -> bool:
+        """The attacker's definition of success: a side collision."""
+        return self.side_collision
+
+
+def run_episode(
+    victim_factory: VictimFactory,
+    attacker=None,
+    seed: int = 0,
+    scenario: ScenarioConfig | None = None,
+    reward_config: DrivingRewardConfig | None = None,
+    adversarial_config: AdversarialRewardConfig | None = None,
+) -> EpisodeResult:
+    """Run one full episode and measure it.
+
+    Args:
+        victim_factory: builds the victim for the fresh world.
+        attacker: a ``SteerInjector`` (``None`` = nominal driving).
+        seed: controls spawn jitter; equal seeds give equal worlds.
+    """
+    scenario = scenario or ScenarioConfig()
+    world = make_world(scenario, rng=np.random.default_rng(seed))
+    victim = victim_factory(world)
+    victim.reset(world)
+    attacker = attacker if attacker is not None else NullAttacker()
+    attacker.reset(world)
+
+    planner = BehaviorPlanner(world.road)
+    planner.reset(world)
+    nominal_reward = DrivingReward(reward_config)
+    adversarial_reward = AdversarialReward(adversarial_config)
+
+    nominal_total = 0.0
+    adversarial_total = 0.0
+    deviations: list[float] = []
+    first_attack_time: float | None = None
+    result = None
+    # The attack *strike* begins when the injection reaches half the
+    # attacker's budget; smaller values are lurk-phase dithering.
+    strike_level = max(
+        ACTIVE_THRESHOLD, 0.5 * float(getattr(attacker, "budget", 0.0))
+    )
+
+    while not world.done:
+        plan = planner.update(world)
+        control = victim.act(world)
+        delta = float(attacker.delta(world, control))
+        result = world.tick(control, steer_delta=delta)
+        if abs(delta) >= strike_level and first_attack_time is None:
+            first_attack_time = result.time - scenario.dt
+
+        nominal_total += nominal_reward.step(world, plan, result.collision).total
+        adversarial_total += adversarial_reward.step(
+            world, delta, result.collision
+        ).total
+        ego_s, ego_d, _ = world.road.to_frenet(world.ego.state.position)
+        deviation = abs(ego_d - plan.reference_offset(ego_s))
+        deviations.append(deviation / world.road.config.lane_width)
+
+    time_to_collision = None
+    if result.collision is not None and first_attack_time is not None:
+        time_to_collision = result.collision.time - first_attack_time
+
+    return EpisodeResult(
+        steps=result.step,
+        duration=result.time,
+        collision=result.collision,
+        passed_npcs=world.passed_npcs,
+        nominal_return=nominal_total,
+        adversarial_return=adversarial_total,
+        mean_effort=float(getattr(attacker, "mean_effort", 0.0)),
+        deviation_rmse=float(np.sqrt(np.mean(np.square(deviations)))),
+        deviation_max=float(np.max(deviations)),
+        time_to_collision=time_to_collision,
+    )
+
+
+def run_episodes(
+    victim_factory: VictimFactory,
+    attacker_factory: Callable[[], object] | None = None,
+    n_episodes: int = 10,
+    seed: int = 0,
+    **kwargs,
+) -> list[EpisodeResult]:
+    """Run ``n_episodes`` with consecutive seeds.
+
+    ``attacker_factory`` is called once per episode so attackers with
+    internal state (sensors, channels) start fresh each time.
+    """
+    results = []
+    for episode in range(n_episodes):
+        attacker = attacker_factory() if attacker_factory is not None else None
+        results.append(
+            run_episode(
+                victim_factory,
+                attacker=attacker,
+                seed=seed + episode,
+                **kwargs,
+            )
+        )
+    return results

@@ -1,0 +1,153 @@
+"""Episode trajectory recording and lightweight rendering.
+
+Records per-tick vehicle states during an episode into a
+:class:`Trajectory`, exports them as CSV, and renders a top-down ASCII
+strip chart (the textual analogue of Fig. 1(b)'s collision snapshot) —
+useful for debugging attacks without a display server.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.world import World
+
+
+@dataclass(frozen=True)
+class ActorSample:
+    """One actor's pose at one tick."""
+
+    name: str
+    x: float
+    y: float
+    yaw: float
+    speed: float
+
+
+@dataclass
+class Trajectory:
+    """Time series of every actor's pose plus per-tick attack deltas."""
+
+    times: list[float] = field(default_factory=list)
+    samples: list[list[ActorSample]] = field(default_factory=list)
+    deltas: list[float] = field(default_factory=list)
+
+    def record(self, world: World, delta: float = 0.0) -> None:
+        """Append the current world state."""
+        frame = [
+            ActorSample(
+                "ego",
+                world.ego.state.x,
+                world.ego.state.y,
+                world.ego.state.yaw,
+                world.ego.state.speed,
+            )
+        ]
+        for npc in world.npcs:
+            state = npc.vehicle.state
+            frame.append(
+                ActorSample(
+                    npc.vehicle.name, state.x, state.y, state.yaw, state.speed
+                )
+            )
+        self.times.append(world.time)
+        self.samples.append(frame)
+        self.deltas.append(float(delta))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def actor(self, name: str) -> np.ndarray:
+        """Positions of ``name`` over time, shape ``(ticks, 2)``."""
+        rows = []
+        for frame in self.samples:
+            for sample in frame:
+                if sample.name == name:
+                    rows.append((sample.x, sample.y))
+                    break
+        if not rows:
+            raise KeyError(name)
+        return np.asarray(rows)
+
+    def to_csv(self) -> str:
+        """The full recording as CSV text."""
+        buffer = io.StringIO()
+        buffer.write("time,actor,x,y,yaw,speed,delta\n")
+        for time, frame, delta in zip(self.times, self.samples, self.deltas):
+            for sample in frame:
+                buffer.write(
+                    f"{time:.2f},{sample.name},{sample.x:.3f},"
+                    f"{sample.y:.3f},{sample.yaw:.4f},{sample.speed:.3f},"
+                    f"{delta:.3f}\n"
+                )
+        return buffer.getvalue()
+
+    def render_ascii(
+        self, road_half_width: float = 8.0, width: int = 100
+    ) -> str:
+        """Top-down strip chart: 'E' ego path, digits NPC paths.
+
+        The x axis is compressed to ``width`` columns across the recorded
+        longitudinal extent; the y axis spans the road width.
+        """
+        if not self.samples:
+            return "(empty trajectory)"
+        ego = self.actor("ego")
+        x_min = min(float(self.actor(s.name)[:, 0].min())
+                    for s in self.samples[0])
+        x_max = max(float(self.actor(s.name)[:, 0].max())
+                    for s in self.samples[0])
+        span = max(x_max - x_min, 1e-6)
+        rows = 17
+        grid = [[" "] * width for _ in range(rows)]
+
+        def put(x: float, y: float, char: str) -> None:
+            col = int((x - x_min) / span * (width - 1))
+            row = int(
+                (road_half_width - y) / (2.0 * road_half_width) * (rows - 1)
+            )
+            if 0 <= row < rows and 0 <= col < width:
+                grid[row][col] = char
+
+        for index, frame in enumerate(self.samples[0][1:], start=1):
+            for x, y in self.actor(frame.name):
+                put(x, y, str(index % 10))
+        for x, y in ego:
+            put(x, y, "E")
+        border = "+" + "-" * width + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in grid)
+        return f"{border}\n{body}\n{border}"
+
+
+def record_episode(
+    victim_factory,
+    attacker=None,
+    seed: int = 0,
+    scenario=None,
+) -> tuple[Trajectory, World]:
+    """Run one episode while recording every tick.
+
+    Returns the trajectory and the final world (for collision inspection).
+    """
+    from repro.core.attackers import NullAttacker
+    from repro.sim.config import ScenarioConfig
+    from repro.sim.scenario import make_world
+
+    scenario = scenario or ScenarioConfig()
+    world = make_world(scenario, rng=np.random.default_rng(seed))
+    victim = victim_factory(world)
+    victim.reset(world)
+    attacker = attacker if attacker is not None else NullAttacker()
+    attacker.reset(world)
+
+    trajectory = Trajectory()
+    trajectory.record(world, 0.0)
+    while not world.done:
+        control = victim.act(world)
+        delta = float(attacker.delta(world, control))
+        world.tick(control, steer_delta=delta)
+        trajectory.record(world, delta)
+    return trajectory, world

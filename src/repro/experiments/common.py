@@ -1,0 +1,43 @@
+"""Shared result structures and table rendering for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A printable experiment table (what the benches emit)."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(col)), *(len(row[i]) for row in self.rows))
+            if self.rows
+            else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        header = "  ".join(
+            str(col).ljust(width) for col, width in zip(self.columns, widths)
+        )
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            )
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render(), flush=True)
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"

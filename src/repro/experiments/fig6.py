@@ -1,0 +1,113 @@
+"""Fig. 6 — nominal driving rewards of original vs. enhanced agents.
+
+Evaluates pi_ori, the two adversarially fine-tuned agents
+(rho = 1/11, 1/2) and the two PNN agents (sigma = 0.2, 0.4) under
+camera attacks with budgets {0, 0.25, 0.5, 0.75, 1.0}.
+
+Paper shapes to verify: the enhanced agents noticeably raise the mean
+nominal reward under attack; the fine-tuned agents lose nominal
+performance at small budgets (catastrophic forgetting) while the PNN
+agents do not; the two PNN agents coincide at high budgets (same second
+column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.eval.episodes import EpisodeResult, run_episodes
+from repro.eval.metrics import BoxStats, nominal_reward_stats, success_rate
+from repro.experiments import registry
+from repro.experiments.common import Table, fmt
+
+BUDGETS = (0.0, 0.25, 0.5, 0.75, 1.0)
+#: Agent labels in presentation order.
+AGENTS = (
+    "original",
+    "finetuned rho=1/11",
+    "finetuned rho=1/2",
+    "pnn sigma=0.2",
+    "pnn sigma=0.4",
+)
+
+
+def victim_factory_for(agent: str, budget: float) -> Callable:
+    """Builds the per-episode victim for an agent label.
+
+    The PNN switcher is informed of the episode's attack budget
+    (the paper's idealized switcher assumption).
+    """
+    if agent == "original":
+        return registry.e2e_victim
+    if agent == "finetuned rho=1/11":
+        return registry.finetuned_victim_rho11
+    if agent == "finetuned rho=1/2":
+        return registry.finetuned_victim_rho2
+    if agent == "pnn sigma=0.2":
+        return lambda world: registry.pnn_victim(world, 0.2, budget)
+    if agent == "pnn sigma=0.4":
+        return lambda world: registry.pnn_victim(world, 0.4, budget)
+    raise KeyError(agent)
+
+
+@dataclass(frozen=True)
+class Fig6Cell:
+    agent: str
+    budget: float
+    nominal: BoxStats
+    success: float
+    episodes: list[EpisodeResult]
+
+
+@dataclass
+class Fig6Result:
+    cells: list[Fig6Cell]
+
+    def cell(self, agent: str, budget: float) -> Fig6Cell:
+        for candidate in self.cells:
+            if candidate.agent == agent and candidate.budget == budget:
+                return candidate
+        raise KeyError((agent, budget))
+
+    def table(self) -> Table:
+        table = Table(
+            "Fig. 6 — nominal driving reward of original and enhanced agents",
+            ["agent", *[f"eps={b}" for b in BUDGETS]],
+        )
+        for agent in AGENTS:
+            cells = [self.cell(agent, budget) for budget in BUDGETS]
+            table.add(agent, *[fmt(c.nominal.mean, 1) for c in cells])
+        return table
+
+
+def run(
+    n_episodes: int = 10,
+    seed: int = 500,
+    budgets: tuple[float, ...] = BUDGETS,
+    agents: tuple[str, ...] = AGENTS,
+) -> Fig6Result:
+    cells: list[Fig6Cell] = []
+    for agent in agents:
+        for budget in budgets:
+            attacker_factory = (
+                None
+                if budget == 0.0
+                else lambda b=budget: registry.camera_attacker(b)
+            )
+            episodes = run_episodes(
+                victim_factory_for(agent, budget),
+                attacker_factory,
+                n_episodes=n_episodes,
+                seed=seed,
+            )
+            cells.append(
+                Fig6Cell(
+                    agent=agent,
+                    budget=budget,
+                    nominal=nominal_reward_stats(episodes),
+                    success=success_rate(episodes),
+                    episodes=episodes,
+                )
+            )
+    return Fig6Result(cells)

@@ -1,0 +1,95 @@
+"""Fig. 7 — robustness of the enhanced agents (deviation vs. effort).
+
+Same scatter protocol as Fig. 5 (budgets 0 to 1.2 step 0.1) but for the
+four enhanced agents. Headline numbers from the paper: average trajectory
+tracking errors of 0.038 (rho = 1/11), 0.027 (rho = 1/2), 0.02
+(sigma = 0.4) and 0.017 (sigma = 0.2); the PNN agents admit no successful
+attack below efforts of 0.4 / 0.6 respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.episodes import EpisodeResult, run_episodes
+from repro.experiments import registry
+from repro.experiments.common import Table, fmt
+from repro.experiments.fig5 import BUDGETS, ScatterPoint
+from repro.experiments.fig6 import victim_factory_for
+
+#: The four enhanced agents of Section VI.
+AGENTS = (
+    "finetuned rho=1/11",
+    "finetuned rho=1/2",
+    "pnn sigma=0.2",
+    "pnn sigma=0.4",
+)
+
+
+@dataclass
+class Fig7Result:
+    points: dict[str, list[ScatterPoint]]
+    episodes: dict[str, list[EpisodeResult]]
+
+    def average_tracking_error(self, agent: str) -> float:
+        """Mean deviation RMSE across all attack efforts (paper headline)."""
+        return float(
+            np.mean([p.deviation_rmse for p in self.points[agent]])
+        )
+
+    def min_successful_effort(self, agent: str) -> float:
+        """Smallest attack effort that produced a successful attack."""
+        efforts = [p.effort for p in self.points[agent] if p.successful]
+        return float(min(efforts)) if efforts else float("inf")
+
+    def table(self) -> Table:
+        table = Table(
+            "Fig. 7 — enhanced-agent robustness (camera attacker)",
+            ["agent", "avg tracking error", "min successful effort",
+             "successes"],
+        )
+        for agent in self.points:
+            table.add(
+                agent,
+                fmt(self.average_tracking_error(agent), 3),
+                fmt(self.min_successful_effort(agent)),
+                sum(p.successful for p in self.points[agent]),
+            )
+        return table
+
+
+def run(
+    rounds: int = 10,
+    seed: int = 300,
+    budgets: tuple[float, ...] = BUDGETS,
+    agents: tuple[str, ...] = AGENTS,
+) -> Fig7Result:
+    points: dict[str, list[ScatterPoint]] = {agent: [] for agent in agents}
+    episodes: dict[str, list[EpisodeResult]] = {agent: [] for agent in agents}
+    for agent in agents:
+        for budget in budgets:
+            attacker_factory = (
+                None
+                if budget == 0.0
+                else lambda b=budget: registry.camera_attacker(b)
+            )
+            results = run_episodes(
+                victim_factory_for(agent, budget),
+                attacker_factory,
+                n_episodes=rounds,
+                seed=seed,
+            )
+            episodes[agent].extend(results)
+            for result in results:
+                points[agent].append(
+                    ScatterPoint(
+                        victim=agent,
+                        budget=budget,
+                        effort=result.mean_effort,
+                        deviation_rmse=result.deviation_rmse,
+                        successful=result.attack_successful,
+                    )
+                )
+    return Fig7Result(points=points, episodes=episodes)

@@ -1,0 +1,89 @@
+"""Section V headline scalars.
+
+* Nominal driving (Section III-C): the end-to-end agent completes all 180
+  steps and passes an average of 5.96 / 6 NPC vehicles over 30 episodes
+  with no collisions.
+* Camera attack at epsilon = 1 (Section V-A): the cumulative nominal
+  driving reward drops by approximately 84%.
+* Section V-B: successful attacks complete in 0.87 s mean (e2e victim)
+  vs. 1.14 s (modular victim), both under the 1.25 s human reaction floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.episodes import run_episodes
+from repro.eval.metrics import (
+    HUMAN_REACTION_TIME,
+    collision_rate,
+    reward_reduction,
+    time_to_collision_stats,
+)
+from repro.experiments import registry
+from repro.experiments.common import Table, fmt
+
+
+@dataclass
+class HeadlineResult:
+    mean_passed: float
+    mean_steps: float
+    nominal_collision_rate: float
+    camera_reward_reduction: float
+    ttc_e2e_mean: float | None
+    ttc_modular_mean: float | None
+
+    def table(self) -> Table:
+        table = Table(
+            "Headline scalars (paper Sections III-C, V-A, V-B)",
+            ["metric", "paper", "measured"],
+        )
+        table.add("NPCs passed (nominal, /6)", "5.96", fmt(self.mean_passed, 2))
+        table.add("steps completed (nominal)", "180", fmt(self.mean_steps, 1))
+        table.add(
+            "nominal collision rate", "0.00", fmt(self.nominal_collision_rate)
+        )
+        table.add(
+            "camera eps=1 reward reduction", "~84%",
+            fmt(100 * self.camera_reward_reduction, 1) + "%",
+        )
+        table.add(
+            "time-to-collision e2e (s)", "0.87",
+            fmt(self.ttc_e2e_mean, 2) if self.ttc_e2e_mean else "-",
+        )
+        table.add(
+            "time-to-collision modular (s)", "1.14",
+            fmt(self.ttc_modular_mean, 2) if self.ttc_modular_mean else "-",
+        )
+        table.add("human reaction floor (s)", "1.25", fmt(HUMAN_REACTION_TIME, 2))
+        return table
+
+
+def run(n_episodes: int = 30, seed: int = 900) -> HeadlineResult:
+    nominal = run_episodes(
+        registry.e2e_victim, None, n_episodes=n_episodes, seed=seed
+    )
+    attacked = run_episodes(
+        registry.e2e_victim,
+        lambda: registry.camera_attacker(1.0),
+        n_episodes=n_episodes,
+        seed=seed,
+    )
+    attacked_modular = run_episodes(
+        registry.modular_victim,
+        lambda: registry.camera_attacker(1.0, victim="modular"),
+        n_episodes=n_episodes,
+        seed=seed,
+    )
+    ttc_e2e = time_to_collision_stats(attacked)
+    ttc_modular = time_to_collision_stats(attacked_modular)
+    return HeadlineResult(
+        mean_passed=float(np.mean([r.passed_npcs for r in nominal])),
+        mean_steps=float(np.mean([r.steps for r in nominal])),
+        nominal_collision_rate=collision_rate(nominal),
+        camera_reward_reduction=reward_reduction(nominal, attacked),
+        ttc_e2e_mean=ttc_e2e.mean if ttc_e2e else None,
+        ttc_modular_mean=ttc_modular.mean if ttc_modular else None,
+    )

@@ -1,0 +1,18 @@
+"""DRL substrate: SAC, behaviour cloning, replay, progressive networks."""
+
+from repro.rl.bc import BcConfig, BehaviorCloner
+from repro.rl.pnn import ProgressivePolicy
+from repro.rl.policy import QNetwork, SquashedGaussianPolicy
+from repro.rl.replay import ReplayBuffer
+from repro.rl.sac import Sac, SacConfig
+
+__all__ = [
+    "BcConfig",
+    "BehaviorCloner",
+    "ProgressivePolicy",
+    "QNetwork",
+    "ReplayBuffer",
+    "Sac",
+    "SacConfig",
+    "SquashedGaussianPolicy",
+]

@@ -1,0 +1,92 @@
+"""Behaviour cloning (and DAgger-style dataset aggregation).
+
+Used to warm-start SAC policies: the end-to-end driver clones the modular
+pipeline (the paper's privileged agent), and the camera attacker clones the
+scripted oracle attacker before SAC refinement. Cloning trains the squashed
+mean toward expert actions and regularizes the log-std toward a fixed
+exploration level so the subsequent SAC phase starts with sensible entropy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rl.nn.autograd import Tensor
+from repro.rl.nn.optim import Adam
+from repro.rl.policy import SquashedGaussianPolicy
+
+
+@dataclass
+class BcConfig:
+    """Behaviour-cloning hyper-parameters."""
+
+    lr: float = 1e-3
+    batch_size: int = 128
+    epochs: int = 20
+    #: Target pre-squash log standard deviation after cloning.
+    target_log_std: float = -1.5
+    #: Weight of the log-std regularizer.
+    std_weight: float = 0.1
+    max_grad_norm: float = 10.0
+
+
+class BehaviorCloner:
+    """Supervised trainer for a :class:`SquashedGaussianPolicy`."""
+
+    def __init__(
+        self,
+        policy: SquashedGaussianPolicy,
+        config: BcConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.policy = policy
+        self.config = config or BcConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self.optimizer = Adam(
+            policy.parameters(),
+            self.config.lr,
+            max_grad_norm=self.config.max_grad_norm,
+        )
+
+    def fit(
+        self, observations: np.ndarray, actions: np.ndarray
+    ) -> list[float]:
+        """Train on an expert dataset; returns per-epoch mean losses."""
+        observations = np.asarray(observations, dtype=np.float64)
+        actions = np.asarray(actions, dtype=np.float64)
+        if len(observations) != len(actions):
+            raise ValueError("observations and actions must align")
+        if len(observations) == 0:
+            raise ValueError("empty dataset")
+        n = len(observations)
+        cfg = self.config
+        losses = []
+        for _ in range(cfg.epochs):
+            order = self.rng.permutation(n)
+            epoch_losses = []
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start:start + cfg.batch_size]
+                loss = self._step(observations[idx], actions[idx])
+                epoch_losses.append(loss)
+            losses.append(float(np.mean(epoch_losses)))
+        return losses
+
+    def _step(self, obs: np.ndarray, actions: np.ndarray) -> float:
+        cfg = self.config
+        mean, log_std = self.policy.distribution(Tensor(obs))
+        predicted = mean.tanh()
+        imitation = ((predicted - Tensor(actions)) ** 2.0).mean()
+        std_reg = ((log_std - cfg.target_log_std) ** 2.0).mean()
+        loss = imitation + std_reg * cfg.std_weight
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.data)
+
+    def evaluate(self, observations: np.ndarray, actions: np.ndarray) -> float:
+        """Mean squared imitation error without updating the policy."""
+        mean, _ = self.policy.forward_np(np.asarray(observations, dtype=float))
+        predicted = np.tanh(mean)
+        return float(np.mean((predicted - actions) ** 2))

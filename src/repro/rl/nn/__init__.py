@@ -1,0 +1,19 @@
+"""Numpy neural-network core: autodiff tensors, layers, optimizers."""
+
+from repro.rl.nn.autograd import Tensor, concat, gaussian_log_prob, minimum
+from repro.rl.nn.layers import Linear, Mlp, Module, relu, tanh
+from repro.rl.nn.optim import Adam, Sgd
+
+__all__ = [
+    "Adam",
+    "Linear",
+    "Mlp",
+    "Module",
+    "Sgd",
+    "Tensor",
+    "concat",
+    "gaussian_log_prob",
+    "minimum",
+    "relu",
+    "tanh",
+]

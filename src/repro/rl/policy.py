@@ -1,0 +1,152 @@
+"""Actor and critic networks for soft actor-critic.
+
+The actor is a tanh-squashed diagonal Gaussian (actions in ``[-1, 1]^n``),
+the critic an action-value MLP. Both offer a fast numpy inference path for
+rollouts and target computation, and an autodiff path for updates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.rl.nn.autograd import Tensor, concat, gaussian_log_prob
+from repro.rl.nn.layers import Linear, Mlp, Module, relu
+
+LOG_STD_MIN = -5.0
+LOG_STD_MAX = 2.0
+_LOG2 = math.log(2.0)
+
+
+class SquashedGaussianPolicy(Module):
+    """Stochastic policy ``pi(a | s) = tanh(N(mu(s), sigma(s)))``."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        action_dim: int,
+        hidden: tuple[int, ...] = (128, 128),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.obs_dim = obs_dim
+        self.action_dim = action_dim
+        self.hidden = tuple(hidden)
+        self.trunk = Mlp(
+            (obs_dim, *hidden), activation=relu, output_activation=relu, rng=rng
+        )
+        self.mean_head = Linear(hidden[-1], action_dim, rng=rng, scale=1e-2)
+        self.log_std_head = Linear(hidden[-1], action_dim, rng=rng, scale=1e-2)
+
+    # -- autodiff path ---------------------------------------------------------
+
+    def distribution(self, obs: Tensor) -> tuple[Tensor, Tensor]:
+        """Mean and (bounded) log-std of the pre-squash Gaussian."""
+        features = self.trunk(obs)
+        mean = self.mean_head(features)
+        raw = self.log_std_head(features)
+        log_std = LOG_STD_MIN + 0.5 * (LOG_STD_MAX - LOG_STD_MIN) * (
+            raw.tanh() + 1.0
+        )
+        return mean, log_std
+
+    def rsample(
+        self, obs: Tensor, noise: np.ndarray
+    ) -> tuple[Tensor, Tensor]:
+        """Reparameterized sample and its log-probability.
+
+        Args:
+            obs: batch of observations, shape ``(n, obs_dim)``.
+            noise: standard-normal draws, shape ``(n, action_dim)``.
+
+        Returns:
+            ``(action, log_prob)`` with the tanh change-of-variables
+            correction applied in its numerically stable softplus form.
+        """
+        mean, log_std = self.distribution(obs)
+        std = log_std.exp()
+        pre_squash = mean + std * Tensor(noise)
+        action = pre_squash.tanh()
+        log_prob = gaussian_log_prob(pre_squash, mean, log_std)
+        # log(1 - tanh(x)^2) = 2 * (log 2 - x - softplus(-2x))
+        correction = ((-pre_squash + _LOG2) - (pre_squash * -2.0).softplus()) * 2.0
+        log_prob = log_prob - correction.sum(axis=-1)
+        return action, log_prob
+
+    # -- numpy inference path ------------------------------------------------------
+
+    def forward_np(self, obs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Mean and log-std without building a graph."""
+        features = self.trunk.forward_np(obs)
+        mean = features @ self.mean_head.weight.data + self.mean_head.bias.data
+        raw = (
+            features @ self.log_std_head.weight.data
+            + self.log_std_head.bias.data
+        )
+        log_std = LOG_STD_MIN + 0.5 * (LOG_STD_MAX - LOG_STD_MIN) * (
+            np.tanh(raw) + 1.0
+        )
+        return mean, log_std
+
+    def act(
+        self,
+        obs: np.ndarray,
+        deterministic: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Action for a single observation (or batch), in ``[-1, 1]``."""
+        squeeze = obs.ndim == 1
+        batch = obs[None, :] if squeeze else obs
+        mean, log_std = self.forward_np(batch)
+        if deterministic:
+            action = np.tanh(mean)
+        else:
+            rng = rng or np.random.default_rng()
+            noise = rng.standard_normal(mean.shape)
+            action = np.tanh(mean + np.exp(log_std) * noise)
+        return action[0] if squeeze else action
+
+    def sample_np(
+        self, obs: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Numpy-only sample + log-prob (for SAC target computation)."""
+        mean, log_std = self.forward_np(obs)
+        std = np.exp(log_std)
+        noise = rng.standard_normal(mean.shape)
+        pre_squash = mean + std * noise
+        action = np.tanh(pre_squash)
+        z = (pre_squash - mean) / std
+        log_prob = np.sum(
+            -0.5 * z * z - log_std - 0.5 * math.log(2.0 * math.pi), axis=-1
+        )
+        correction = 2.0 * (
+            _LOG2 - pre_squash - np.logaddexp(0.0, -2.0 * pre_squash)
+        )
+        log_prob = log_prob - correction.sum(axis=-1)
+        return action, log_prob
+
+
+class QNetwork(Module):
+    """Action-value critic ``Q(s, a)``."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        action_dim: int,
+        hidden: tuple[int, ...] = (128, 128),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.obs_dim = obs_dim
+        self.action_dim = action_dim
+        self.net = Mlp((obs_dim + action_dim, *hidden, 1), rng=rng)
+
+    def __call__(self, obs: Tensor, action: Tensor) -> Tensor:
+        """Q values, shape ``(n,)``."""
+        joint = concat([obs, action], axis=-1)
+        return self.net(joint).sum(axis=-1)
+
+    def forward_np(self, obs: np.ndarray, action: np.ndarray) -> np.ndarray:
+        joint = np.concatenate([obs, action], axis=-1)
+        return self.net.forward_np(joint)[:, 0]

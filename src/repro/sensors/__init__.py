@@ -1,0 +1,26 @@
+"""Sensor models: semantic segmentation cameras and the triaxial IMU."""
+
+from repro.sensors.base import FrameStack, Sensor
+from repro.sensors.camera import (
+    BevCamera,
+    BevCameraConfig,
+    PanoramaCamera,
+    PanoramaCameraConfig,
+    SemanticClass,
+)
+from repro.sensors.imu import Imu, ImuConfig
+from repro.sensors.noise import GaussianNoise, NoiseModel
+
+__all__ = [
+    "BevCamera",
+    "BevCameraConfig",
+    "FrameStack",
+    "GaussianNoise",
+    "Imu",
+    "ImuConfig",
+    "NoiseModel",
+    "PanoramaCamera",
+    "PanoramaCameraConfig",
+    "SemanticClass",
+    "Sensor",
+]

@@ -1,0 +1,178 @@
+"""Semantic segmentation cameras.
+
+Two renderers substitute for the CARLA semantic segmentation camera:
+
+* :class:`BevCamera` — a fast ego-centric bird's-eye grid used as the
+  policy observation (our numpy MLP substrate replaces the paper's GPU
+  CNN over 84x420 panoramas, so the default grid is compact).
+* :class:`PanoramaCamera` — a range-azimuth panorama mimicking the paper's
+  300-degree roof-camera view at configurable resolution (84x420 capable);
+  used for visualization and fidelity tests.
+
+Both label each pixel with a semantic class: off-road, road surface, lane
+marking, or vehicle.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensors.base import Sensor
+from repro.sim.world import World
+
+
+class SemanticClass(enum.IntEnum):
+    """Pixel labels of the segmentation output."""
+
+    OFF_ROAD = 0
+    ROAD = 1
+    LANE_MARKING = 2
+    VEHICLE = 3
+
+
+#: Scale for normalizing class codes into [0, 1] observations.
+_MAX_CLASS = float(max(SemanticClass))
+#: Half-width of a painted lane boundary, meters.
+_MARKING_HALF_WIDTH = 0.2
+
+
+def _classify_points(world: World, points: np.ndarray) -> np.ndarray:
+    """Semantic class per world point, shape ``(n,)`` of ``uint8``."""
+    road = world.road
+    _, d = road.to_frenet_batch(points)
+    classes = np.full(len(points), int(SemanticClass.OFF_ROAD), dtype=np.uint8)
+    on_road = np.abs(d) <= road.half_width
+    classes[on_road] = int(SemanticClass.ROAD)
+    boundaries = np.array(
+        [
+            -road.half_width + i * road.config.lane_width
+            for i in range(road.config.n_lanes + 1)
+        ]
+    )
+    near_marking = (
+        np.min(np.abs(d[:, None] - boundaries[None, :]), axis=1)
+        <= _MARKING_HALF_WIDTH
+    )
+    classes[on_road & near_marking] = int(SemanticClass.LANE_MARKING)
+    for npc in world.npcs:
+        box = npc.vehicle.footprint()
+        rel = points - np.asarray(box.center)
+        cos_yaw, sin_yaw = math.cos(box.yaw), math.sin(box.yaw)
+        local_x = rel[:, 0] * cos_yaw + rel[:, 1] * sin_yaw
+        local_y = -rel[:, 0] * sin_yaw + rel[:, 1] * cos_yaw
+        inside = (np.abs(local_x) <= box.length / 2.0) & (
+            np.abs(local_y) <= box.width / 2.0
+        )
+        classes[inside] = int(SemanticClass.VEHICLE)
+    return classes
+
+
+@dataclass(frozen=True)
+class BevCameraConfig:
+    """Geometry of the bird's-eye observation grid (ego frame)."""
+
+    forward: float = 48.0
+    backward: float = 8.0
+    half_width: float = 9.0
+    rows: int = 24
+    cols: int = 12
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+
+class BevCamera(Sensor):
+    """Ego-centric bird's-eye semantic grid.
+
+    Rows span ``[-backward, forward]`` meters along the ego heading
+    (row 0 = farthest back), columns span ``[-half_width, half_width]``
+    laterally (column 0 = rightmost). :meth:`observe` returns the grid
+    flattened with class codes normalized to ``[0, 1]``.
+    """
+
+    def __init__(self, config: BevCameraConfig | None = None) -> None:
+        self.config = config or BevCameraConfig()
+        cfg = self.config
+        xs = np.linspace(-cfg.backward, cfg.forward, cfg.rows)
+        ys = np.linspace(-cfg.half_width, cfg.half_width, cfg.cols)
+        grid_x, grid_y = np.meshgrid(xs, ys, indexing="ij")
+        self._local = np.stack([grid_x.ravel(), grid_y.ravel()], axis=1)
+
+    def render(self, world: World) -> np.ndarray:
+        """The raw class grid, shape ``(rows, cols)`` of ``uint8``."""
+        state = world.ego.state
+        cos_yaw, sin_yaw = math.cos(state.yaw), math.sin(state.yaw)
+        rot = np.array([[cos_yaw, -sin_yaw], [sin_yaw, cos_yaw]])
+        points = self._local @ rot.T + state.position
+        classes = _classify_points(world, points)
+        return classes.reshape(self.config.rows, self.config.cols)
+
+    def observe(self, world: World) -> np.ndarray:
+        return (
+            self.render(world).astype(np.float64).ravel() / _MAX_CLASS
+        )
+
+    def reset(self) -> None:
+        """Stateless: nothing to clear."""
+
+    @property
+    def observation_dim(self) -> int:
+        return self.config.cells
+
+
+@dataclass(frozen=True)
+class PanoramaCameraConfig:
+    """Geometry of the panorama camera (paper default: 84x420, 300 deg)."""
+
+    height: int = 84
+    width: int = 420
+    fov: float = math.radians(300.0)
+    camera_height: float = 1.6
+    max_range: float = 60.0
+
+
+class PanoramaCamera(Sensor):
+    """Roof-mounted panorama projecting the ground plane.
+
+    Each pixel ``(row, col)`` corresponds to an azimuth within the field
+    of view and a downward elevation angle; the pixel is labeled with the
+    semantic class of the ground point the ray hits (rows near the top of
+    the image look toward the horizon / far range).
+    """
+
+    def __init__(self, config: PanoramaCameraConfig | None = None) -> None:
+        self.config = config or PanoramaCameraConfig()
+        cfg = self.config
+        azimuths = np.linspace(cfg.fov / 2.0, -cfg.fov / 2.0, cfg.width)
+        # Row 0 looks at max range, bottom row near the vehicle.
+        min_range = 2.0
+        ranges = np.geomspace(cfg.max_range, min_range, cfg.height)
+        grid_r, grid_a = np.meshgrid(ranges, azimuths, indexing="ij")
+        self._local = np.stack(
+            [(grid_r * np.cos(grid_a)).ravel(), (grid_r * np.sin(grid_a)).ravel()],
+            axis=1,
+        )
+
+    def render(self, world: World) -> np.ndarray:
+        """The class image, shape ``(height, width)`` of ``uint8``."""
+        state = world.ego.state
+        cos_yaw, sin_yaw = math.cos(state.yaw), math.sin(state.yaw)
+        rot = np.array([[cos_yaw, -sin_yaw], [sin_yaw, cos_yaw]])
+        points = self._local @ rot.T + state.position
+        classes = _classify_points(world, points)
+        return classes.reshape(self.config.height, self.config.width)
+
+    def observe(self, world: World) -> np.ndarray:
+        return self.render(world).astype(np.float64).ravel() / _MAX_CLASS
+
+    def reset(self) -> None:
+        """Stateless: nothing to clear."""
+
+    @property
+    def observation_dim(self) -> int:
+        return self.config.height * self.config.width

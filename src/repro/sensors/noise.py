@@ -1,0 +1,46 @@
+"""Additive sensor-noise models for the IMU."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NoiseModel:
+    """Identity noise model: passes samples through unchanged."""
+
+    def apply(self, sample: np.ndarray) -> np.ndarray:
+        return sample
+
+    def reset(self) -> None:  # pragma: no cover - trivial
+        """Re-draw any per-episode noise state (e.g. bias)."""
+
+
+class GaussianNoise(NoiseModel):
+    """Zero-mean white Gaussian noise with optional constant bias drift.
+
+    A fresh bias is drawn per episode at :meth:`reset`, modelling the slow
+    bias instability of a consumer-grade MEMS IMU.
+    """
+
+    def __init__(
+        self,
+        std: float,
+        bias_std: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if std < 0.0 or bias_std < 0.0:
+            raise ValueError("noise magnitudes must be non-negative")
+        self.std = float(std)
+        self.bias_std = float(bias_std)
+        self.rng = rng or np.random.default_rng(0)
+        self._bias = 0.0
+        self.reset()
+
+    def apply(self, sample: np.ndarray) -> np.ndarray:
+        noise = self.rng.normal(0.0, self.std, size=np.shape(sample))
+        return np.asarray(sample) + noise + self._bias
+
+    def reset(self) -> None:
+        self._bias = (
+            float(self.rng.normal(0.0, self.bias_std)) if self.bias_std else 0.0
+        )

@@ -1,0 +1,45 @@
+"""Driving simulator substrate (CARLA substitute).
+
+2D freeway world with kinematic bicycle-model vehicles, actuation smoothing
+per Eq. (1) of the paper, OBB collision detection with side/front/rear
+classification, lane-keeping NPC drivers, and the Fig. 1(a) overtaking
+scenario builder.
+"""
+
+from repro.sim.collision import Collision, CollisionKind
+from repro.sim.config import (
+    DEFAULT_SCENARIO,
+    EPSILON_MECH,
+    RoadConfig,
+    ScenarioConfig,
+    VehicleConfig,
+)
+from repro.sim.npc import LaneKeepingDriver
+from repro.sim.road import Road, Waypoint, default_road
+from repro.sim.presets import PRESETS, curved_world
+from repro.sim.scenario import make_world
+from repro.sim.vehicle import Control, Vehicle, VehicleState
+from repro.sim.world import NpcActor, TickResult, World
+
+__all__ = [
+    "Collision",
+    "CollisionKind",
+    "Control",
+    "DEFAULT_SCENARIO",
+    "EPSILON_MECH",
+    "LaneKeepingDriver",
+    "NpcActor",
+    "Road",
+    "RoadConfig",
+    "ScenarioConfig",
+    "TickResult",
+    "Vehicle",
+    "VehicleConfig",
+    "VehicleState",
+    "Waypoint",
+    "World",
+    "default_road",
+    "make_world",
+    "PRESETS",
+    "curved_world",
+]

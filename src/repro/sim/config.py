@@ -1,0 +1,100 @@
+"""Simulation configuration.
+
+Constants follow Section III of the paper: 0.1 s control steps, 180-step
+episodes, ego reference speed 16 m/s, six NPC vehicles at 6 m/s, actuation
+smoothing per Eq. (1) with per-step variation bounded by the mechanical
+limit ``EPSILON_MECH = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Mechanical limit of the normalized actuation variation (paper: epsilon = 1).
+EPSILON_MECH = 1.0
+
+
+@dataclass(frozen=True)
+class VehicleConfig:
+    """Physical parameters of a simulated vehicle (kinematic bicycle model)."""
+
+    length: float = 4.7
+    width: float = 2.0
+    wheelbase: float = 2.9
+    #: Maximum road-wheel steering angle in radians (paper: 70 degrees).
+    max_steer_angle: float = math.radians(70.0)
+    #: Maximum forward acceleration at full throttle, m/s^2.
+    max_accel: float = 4.0
+    #: Maximum deceleration at full brake, m/s^2.
+    max_brake: float = 8.0
+    #: Lateral-acceleration limit approximating tire grip, m/s^2.  The
+    #: kinematic model has no slip, so yaw rate is clamped to
+    #: ``max_lateral_accel / speed`` to keep high-speed steering physical.
+    max_lateral_accel: float = 6.5
+    #: Quadratic drag coefficient (m^-1) applied as ``-drag * v^2``.
+    drag: float = 0.002
+    #: Retain rate of the previous steering actuation, Eq. (1) alpha.
+    steer_retain: float = 0.6
+    #: Retain rate of the previous thrust actuation, Eq. (1) eta.
+    thrust_retain: float = 0.6
+    #: Top speed, m/s.
+    max_speed: float = 30.0
+
+
+@dataclass(frozen=True)
+class RoadConfig:
+    """Geometry of the freeway (a Town04-Road23-like straight multilane road)."""
+
+    n_lanes: int = 4
+    lane_width: float = 3.5
+    length: float = 450.0
+    #: Lateral clearance between the outermost lane edge and the barrier.
+    shoulder: float = 1.0
+    #: Spacing of generated waypoints along each lane, meters.
+    waypoint_spacing: float = 2.0
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """The lane-changing / overtaking traffic scenario of Fig. 1(a)."""
+
+    #: Control-step duration, seconds (paper: 0.1 s).
+    dt: float = 0.1
+    #: Physics sub-steps per control step; the IMU samples each sub-step,
+    #: which yields the paper's 20 sps at the default of 2.
+    substeps: int = 2
+    #: Episode horizon in control steps (paper: 180).
+    max_steps: int = 180
+    #: Ego reference speed, m/s (paper: 16).
+    ego_speed: float = 16.0
+    #: NPC reference speed, m/s (paper: 6).
+    npc_speed: float = 6.0
+    #: Number of NPC vehicles to overtake (paper: 6).
+    n_npcs: int = 6
+    #: Longitudinal gap from the ego to the first NPC at spawn, meters.
+    first_npc_gap: float = 35.0
+    #: Longitudinal spacing between consecutive NPCs at spawn, meters.
+    npc_spacing: float = 24.0
+    #: Index of the lane the ego spawns in (0 = rightmost).
+    ego_lane: int = 1
+    #: Lanes the NPCs cycle through at spawn.
+    npc_lanes: tuple[int, ...] = (1, 2)
+    #: Randomization half-ranges applied per episode (position jitter, m).
+    spawn_jitter: float = 3.0
+    speed_jitter: float = 0.4
+    road: RoadConfig = field(default_factory=RoadConfig)
+    vehicle: VehicleConfig = field(default_factory=VehicleConfig)
+
+    @property
+    def physics_dt(self) -> float:
+        """Duration of one physics sub-step, seconds."""
+        return self.dt / self.substeps
+
+    @property
+    def imu_rate(self) -> float:
+        """IMU sampling rate in samples per second (paper: 20 sps)."""
+        return 1.0 / self.physics_dt
+
+
+DEFAULT_SCENARIO = ScenarioConfig()

@@ -1,0 +1,75 @@
+"""Scenario presets beyond the paper's default configuration.
+
+The paper evaluates one scenario (four-lane freeway, six NPCs). These
+presets vary traffic density and road geometry so downstream users can
+probe generalization — the limitation Section II-A raises for end-to-end
+agents — without hand-assembling configs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.config import RoadConfig, ScenarioConfig
+from repro.sim.road import Road
+from repro.sim.scenario import make_world
+from repro.sim.world import World
+
+
+def paper_scenario() -> ScenarioConfig:
+    """The exact configuration of Section III-A."""
+    return ScenarioConfig()
+
+
+def dense_traffic() -> ScenarioConfig:
+    """Nine NPCs with tighter spacing: more frequent critical windows."""
+    return ScenarioConfig(
+        n_npcs=9,
+        npc_spacing=17.0,
+        first_npc_gap=28.0,
+        npc_lanes=(0, 1, 2),
+    )
+
+
+def light_traffic() -> ScenarioConfig:
+    """Three NPCs far apart: long lurk phases between attack windows."""
+    return ScenarioConfig(n_npcs=3, npc_spacing=45.0, first_npc_gap=50.0)
+
+
+def two_lane() -> ScenarioConfig:
+    """A two-lane road: every overtake passes through the single free lane."""
+    return ScenarioConfig(
+        road=RoadConfig(n_lanes=2),
+        ego_lane=0,
+        npc_lanes=(0,),
+    )
+
+
+def fast_npcs() -> ScenarioConfig:
+    """NPCs at 10 m/s: smaller speed differential, longer side-by-side
+    exposure during each overtake."""
+    return ScenarioConfig(npc_speed=10.0, npc_spacing=30.0)
+
+
+def curved_world(
+    rng: np.random.Generator | None = None,
+    amplitude: float = 5.0,
+    wavelength: float = 240.0,
+) -> World:
+    """The paper scenario on a gently S-curved freeway.
+
+    Exercises the generic (polyline) Frenet path instead of the
+    axis-aligned fast path.
+    """
+    config = ScenarioConfig()
+    road = Road.curved(config.road, amplitude=amplitude, wavelength=wavelength)
+    return make_world(config, rng=rng, road=road)
+
+
+PRESETS = {
+    "paper": paper_scenario,
+    "dense": dense_traffic,
+    "light": light_traffic,
+    "two-lane": two_lane,
+    "fast-npcs": fast_npcs,
+}

@@ -1,0 +1,21 @@
+"""Shared utilities: geometry, random streams, configuration, checkpoints."""
+
+from repro.utils.geometry import (
+    OrientedBox,
+    normalize_angle,
+    rotate,
+    unit,
+)
+from repro.utils.rng import RngStreams, seed_everything
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "OrientedBox",
+    "normalize_angle",
+    "rotate",
+    "unit",
+    "RngStreams",
+    "seed_everything",
+    "load_checkpoint",
+    "save_checkpoint",
+]

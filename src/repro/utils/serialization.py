@@ -1,0 +1,53 @@
+"""Checkpoint (de)serialization.
+
+Checkpoints are ``.npz`` archives holding named float arrays plus one JSON
+metadata blob under the reserved key ``__meta__``. They are the interchange
+format between the training pipeline (``examples/train_all.py``), the
+shipped artifacts in ``artifacts/`` and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(
+    path: str | Path, arrays: dict[str, np.ndarray], meta: dict | None = None
+) -> Path:
+    """Write ``arrays`` and ``meta`` to ``path`` (suffix forced to ``.npz``).
+
+    Returns the final path written.
+    """
+    path = Path(path).with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if _META_KEY in arrays:
+        raise ValueError(f"array name {_META_KEY!r} is reserved for metadata")
+    payload = {name: np.asarray(value) for name, value in arrays.items()}
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta or {}, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    with open(path, "wb") as handle:
+        np.savez(handle, **payload)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Returns ``(arrays, meta)``. Raises ``FileNotFoundError`` if missing.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {name: data[name] for name in data.files if name != _META_KEY}
+        if _META_KEY in data.files:
+            meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+        else:
+            meta = {}
+    return arrays, meta

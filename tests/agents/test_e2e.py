@@ -1,0 +1,236 @@
+"""Tests for the end-to-end agent: observation, reward, env, training."""
+
+import numpy as np
+import pytest
+
+from repro.agents.e2e import (
+    DrivingEnv,
+    DrivingObservation,
+    DrivingReward,
+    DrivingRewardConfig,
+    EndToEndAgent,
+)
+from repro.agents.e2e.observation import POLICY_CAMERA
+from repro.agents.e2e.training import (
+    DriverTrainConfig,
+    collect_expert_dataset,
+    evaluate_driver,
+    train_driver,
+)
+from repro.agents.modular import ModularAgent
+from repro.agents.modular.behavior import BehaviorPlanner
+from repro.rl.bc import BcConfig
+from repro.rl.policy import SquashedGaussianPolicy
+from repro.sim import Control
+from repro.sim.collision import Collision, CollisionKind
+
+
+class TestDrivingObservation:
+    def test_dimension(self):
+        encoder = DrivingObservation()
+        expected = 3 * POLICY_CAMERA.rows * POLICY_CAMERA.cols + 5
+        assert encoder.observation_dim == expected
+
+    def test_observation_bounded(self, quiet_world):
+        encoder = DrivingObservation()
+        obs = encoder.observe(quiet_world)
+        assert obs.shape == (encoder.observation_dim,)
+        assert np.all(np.abs(obs) <= 2.0)
+
+    def test_speed_feature_normalized(self, quiet_world):
+        encoder = DrivingObservation(reference_speed=16.0)
+        obs = encoder.observe(quiet_world)
+        assert obs[-5] == pytest.approx(1.0)  # ego spawns at 16 m/s
+
+    def test_reset_clears_stack(self, quiet_world):
+        encoder = DrivingObservation()
+        first = encoder.observe(quiet_world)
+        quiet_world.tick(Control(thrust=-1.0))
+        encoder.observe(quiet_world)
+        encoder.reset()
+        fresh = encoder.observe(quiet_world)
+        assert fresh.shape == first.shape
+
+
+class TestDrivingReward:
+    def make_plan(self, world):
+        planner = BehaviorPlanner(world.road)
+        planner.reset(world)
+        return planner.update(world)
+
+    def test_on_path_at_speed_near_one(self, quiet_world):
+        plan = self.make_plan(quiet_world)
+        out = DrivingReward().step(quiet_world, plan, None)
+        assert out.progress == pytest.approx(1.0, abs=0.05)
+        assert out.total == pytest.approx(1.0, abs=0.15)
+
+    def test_progress_saturates_at_reference_speed(self, quiet_world):
+        plan = self.make_plan(quiet_world)
+        quiet_world.ego.state.speed = 30.0
+        out = DrivingReward().step(quiet_world, plan, None)
+        assert out.progress <= 1.0
+
+    def test_slow_driving_penalized(self, quiet_world):
+        plan = self.make_plan(quiet_world)
+        quiet_world.ego.state.speed = 4.0
+        out = DrivingReward().step(quiet_world, plan, None)
+        assert out.total < 0.5
+
+    def test_deviation_penalized(self, quiet_world):
+        plan = self.make_plan(quiet_world)
+        on_path = DrivingReward().step(quiet_world, plan, None)
+        quiet_world.ego.state.y += 1.5
+        off_path = DrivingReward().step(quiet_world, plan, None)
+        assert off_path.deviation < on_path.deviation
+
+    def test_collision_penalty(self, quiet_world):
+        plan = self.make_plan(quiet_world)
+        collision = Collision(
+            kind=CollisionKind.SIDE, ego="ego", other="npc_0", step=1, time=0.1
+        )
+        out = DrivingReward().step(quiet_world, plan, collision)
+        assert out.collision == pytest.approx(-10.0)
+
+    def test_custom_weights(self, quiet_world):
+        plan = self.make_plan(quiet_world)
+        config = DrivingRewardConfig(collision_penalty=3.0)
+        collision = Collision(
+            kind=CollisionKind.REAR, ego="ego", other="npc_0", step=1, time=0.1
+        )
+        out = DrivingReward(config).step(quiet_world, plan, collision)
+        assert out.collision == pytest.approx(-3.0)
+
+
+class TestDrivingEnv:
+    def test_reset_step_contract(self):
+        env = DrivingEnv(rng=np.random.default_rng(0))
+        obs = env.reset()
+        assert obs.shape == (env.observation_dim,)
+        obs2, reward, done, info = env.step(np.array([0.0, 0.0]))
+        assert obs2.shape == obs.shape
+        assert np.isfinite(reward)
+        assert not done
+        assert info["step"] == 1
+
+    def test_step_before_reset_raises(self):
+        env = DrivingEnv(rng=np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            env.step(np.zeros(2))
+
+    def test_actions_clipped(self):
+        env = DrivingEnv(rng=np.random.default_rng(0))
+        env.reset()
+        env.step(np.array([5.0, -5.0]))
+        assert -1.0 <= env.world.ego.state.steer_actuation <= 1.0
+
+    def test_truncation_flag_at_horizon(self):
+        from repro.sim import ScenarioConfig
+
+        env = DrivingEnv(
+            scenario=ScenarioConfig(max_steps=3), rng=np.random.default_rng(0)
+        )
+        env.reset()
+        done = False
+        while not done:
+            _, _, done, info = env.step(np.array([0.0, -1.0]))
+        assert info["truncated"]
+
+    def test_injector_hook_called(self):
+        class ConstantInjector:
+            def __init__(self):
+                self.calls = 0
+
+            def reset(self, world):
+                pass
+
+            def delta(self, world, control):
+                self.calls += 1
+                return 0.2
+
+        injector = ConstantInjector()
+        env = DrivingEnv(rng=np.random.default_rng(0), injector=injector)
+        env.reset()
+        _, _, _, info = env.step(np.array([0.0, 0.0]))
+        assert injector.calls == 1
+        assert info["steer_delta"] == pytest.approx(0.2)
+
+    def test_expert_scores_high(self):
+        env = DrivingEnv(rng=np.random.default_rng(3))
+        env.reset()
+        agent = ModularAgent(env.world.road)
+        agent.reset(env.world)
+        total = 0.0
+        done = False
+        while not done:
+            control = agent.act(env.world)
+            _, reward, done, info = env.step(
+                np.array([control.steer, control.thrust])
+            )
+            total += reward
+        assert total > 120.0
+        assert info["passed_npcs"] == 6
+
+
+class TestEndToEndAgent:
+    def make_agent(self):
+        encoder = DrivingObservation()
+        policy = SquashedGaussianPolicy(
+            encoder.observation_dim, 2, (16,), np.random.default_rng(0)
+        )
+        return EndToEndAgent(policy, observation=encoder)
+
+    def test_act_returns_clipped_control(self, quiet_world):
+        agent = self.make_agent()
+        agent.reset(quiet_world)
+        control = agent.act(quiet_world)
+        assert -1.0 <= control.steer <= 1.0
+        assert -1.0 <= control.thrust <= 1.0
+
+    def test_deterministic_by_default(self, quiet_world):
+        agent = self.make_agent()
+        agent.reset(quiet_world)
+        a = agent.act(quiet_world)
+        agent.reset(quiet_world)
+        b = agent.act(quiet_world)
+        assert a.steer == pytest.approx(b.steer)
+
+    def test_save_load_roundtrip(self, tmp_path, quiet_world):
+        agent = self.make_agent()
+        path = agent.save(tmp_path / "driver", {"note": "test"})
+        loaded = EndToEndAgent.load(path)
+        agent.reset(quiet_world)
+        loaded.reset(quiet_world)
+        a = agent.act(quiet_world)
+        b = loaded.act(quiet_world)
+        assert a.steer == pytest.approx(b.steer)
+        assert a.thrust == pytest.approx(b.thrust)
+
+
+class TestTrainingPipeline:
+    def test_collect_expert_dataset(self):
+        obs, actions = collect_expert_dataset(
+            1, np.random.default_rng(0), action_noise=0.1
+        )
+        assert len(obs) == len(actions)
+        assert actions.shape[1] == 2
+        assert np.all(np.abs(actions) <= 1.0)
+
+    def test_train_driver_smoke(self):
+        config = DriverTrainConfig(
+            bc_episodes=2,
+            bc=BcConfig(epochs=2),
+            sac_steps=0,
+            eval_episodes=1,
+        )
+        agent, metrics = train_driver(config)
+        assert isinstance(agent, EndToEndAgent)
+        assert "mean_return" in metrics
+
+    def test_evaluate_driver_keys(self):
+        agent = TestEndToEndAgent().make_agent()
+        metrics = evaluate_driver(agent, n_episodes=1)
+        assert set(metrics) == {
+            "mean_return",
+            "mean_passed",
+            "collision_rate",
+        }

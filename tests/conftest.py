@@ -1,0 +1,27 @@
+"""Shared pytest fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Road, RoadConfig, ScenarioConfig, make_world
+
+
+@pytest.fixture(scope="session")
+def road() -> Road:
+    return Road.straight(RoadConfig())
+
+
+@pytest.fixture()
+def world():
+    return make_world(rng=np.random.default_rng(1234))
+
+
+@pytest.fixture()
+def quiet_world():
+    """World without spawn jitter for exactly repeatable trajectories."""
+    return make_world(rng=None)
+
+
+@pytest.fixture(scope="session")
+def scenario_config() -> ScenarioConfig:
+    return ScenarioConfig()

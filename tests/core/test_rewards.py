@@ -1,0 +1,127 @@
+"""Tests for adversarial reward shaping (Section IV-D/E)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.rewards import (
+    BETA,
+    AdversarialReward,
+    AdversarialRewardConfig,
+    collision_label,
+    critical_moment,
+)
+from repro.sim import Control, CollisionKind, make_world
+from repro.sim.collision import Collision
+
+
+def make_collision(kind):
+    return Collision(kind=kind, ego="ego", other="npc_0", step=3, time=0.3)
+
+
+class TestCollisionLabel:
+    def test_side_is_positive(self):
+        assert collision_label(make_collision(CollisionKind.SIDE)) == 1
+
+    @pytest.mark.parametrize(
+        "kind", [CollisionKind.FRONT, CollisionKind.REAR, CollisionKind.BARRIER]
+    )
+    def test_undesired_is_negative(self, kind):
+        assert collision_label(make_collision(kind)) == -1
+
+    def test_none_is_zero(self):
+        assert collision_label(None) == 0
+
+
+class TestBeta:
+    def test_paper_value(self):
+        assert BETA == pytest.approx(math.cos(math.pi / 6.0))
+
+
+class TestCriticalMoment:
+    def test_far_behind_not_critical(self, quiet_world):
+        # Ego far behind the NPC: the ego->npc vector aligns with the
+        # NPC's heading, omega ~ 1 > beta.
+        assert not critical_moment(quiet_world)
+
+    def test_beside_is_critical(self, quiet_world):
+        # Teleport ego right beside the first NPC.
+        npc = quiet_world.npcs[0].vehicle
+        quiet_world.ego.teleport(
+            npc.state.x, npc.state.y - 3.5, yaw=0.0, speed=16.0
+        )
+        assert critical_moment(quiet_world)
+
+    def test_no_npcs_not_critical(self, quiet_world):
+        quiet_world.npcs.clear()
+        assert not critical_moment(quiet_world)
+
+
+class TestAdversarialReward:
+    def setup_method(self):
+        self.reward = AdversarialReward()
+
+    def test_side_collision_rewarded(self, quiet_world):
+        out = self.reward.step(
+            quiet_world, 0.5, make_collision(CollisionKind.SIDE)
+        )
+        assert out.collision == pytest.approx(10.0)
+        assert out.total >= 9.0
+
+    def test_undesired_collision_penalized(self, quiet_world):
+        out = self.reward.step(
+            quiet_world, 0.5, make_collision(CollisionKind.BARRIER)
+        )
+        assert out.collision == pytest.approx(-10.0)
+
+    def test_non_critical_maneuver_penalty(self, quiet_world):
+        out = self.reward.step(quiet_world, 0.8, None)
+        assert not out.critical
+        assert out.maneuver == pytest.approx(-0.2 * 0.8)
+        assert out.potential == 0.0
+
+    def test_non_critical_zero_delta_no_penalty(self, quiet_world):
+        out = self.reward.step(quiet_world, 0.0, None)
+        assert out.total == pytest.approx(0.0)
+
+    def test_critical_uses_potential_not_maneuver(self, quiet_world):
+        npc = quiet_world.npcs[0].vehicle
+        quiet_world.ego.teleport(
+            npc.state.x, npc.state.y - 3.5, yaw=0.0, speed=16.0
+        )
+        out = self.reward.step(quiet_world, 1.0, None)
+        assert out.critical
+        assert out.maneuver == 0.0
+
+    def test_potential_maximized_driving_at_target(self, quiet_world):
+        npc = quiet_world.npcs[0].vehicle
+        # Ego beside the NPC, heading straight at it (90 deg left).
+        quiet_world.ego.teleport(
+            npc.state.x, npc.state.y - 3.5, yaw=math.pi / 2.0, speed=16.0
+        )
+        toward = self.reward.step(quiet_world, 1.0, None)
+        # Same position, heading away from it.
+        quiet_world.ego.teleport(
+            npc.state.x, npc.state.y - 3.5, yaw=-math.pi / 2.0, speed=16.0
+        )
+        away = self.reward.step(quiet_world, 1.0, None)
+        assert toward.potential == pytest.approx(1.0, abs=0.05)
+        assert away.potential == pytest.approx(-1.0, abs=0.05)
+
+    def test_teacher_term(self, quiet_world):
+        out = self.reward.step(quiet_world, 0.6, None, teacher_delta=0.1)
+        assert out.teacher == pytest.approx(-1.0 * (0.6 - 0.1) ** 2)
+
+    def test_teacher_term_zero_when_matching(self, quiet_world):
+        out = self.reward.step(quiet_world, 0.4, None, teacher_delta=0.4)
+        assert out.teacher == 0.0
+
+    def test_custom_config(self, quiet_world):
+        reward = AdversarialReward(
+            AdversarialRewardConfig(collision_reward=5.0, maneuver_weight=1.0)
+        )
+        out = reward.step(
+            quiet_world, 1.0, make_collision(CollisionKind.SIDE)
+        )
+        assert out.collision == pytest.approx(5.0)

@@ -1,0 +1,151 @@
+"""Tests for the residual attack detector and detector-driven switcher."""
+
+import numpy as np
+import pytest
+
+from repro.agents.e2e import DrivingObservation, EndToEndAgent
+from repro.defense import (
+    DetectorConfig,
+    DetectorSwitchedAgent,
+    ResidualAttackDetector,
+)
+from repro.rl.pnn import ProgressivePolicy
+from repro.rl.policy import SquashedGaussianPolicy
+from repro.sim import Control, make_world
+
+
+def make_agents():
+    encoder = DrivingObservation()
+    policy = SquashedGaussianPolicy(
+        encoder.observation_dim, 2, (16,), np.random.default_rng(0)
+    )
+    original = EndToEndAgent(policy, observation=encoder)
+    column = ProgressivePolicy(policy, np.random.default_rng(1))
+    return original, column
+
+
+class TestResidualRecovery:
+    def drive(self, deltas, command=0.1):
+        """Issue a fixed command while injecting ``deltas``; return the
+        recovered residuals."""
+        world = make_world(rng=None)
+        detector = ResidualAttackDetector()
+        recovered = []
+        for delta in deltas:
+            detector.update(world)
+            control = Control(steer=command, thrust=0.0)
+            detector.observe_command(world, control)
+            world.tick(control, steer_delta=delta)
+            recovered.append(detector.residual(world))
+        return recovered
+
+    def test_exact_recovery_unclipped(self):
+        deltas = [0.0, 0.0, 0.3, -0.5, 0.0, 0.7]
+        recovered = self.drive(deltas, command=0.1)
+        np.testing.assert_allclose(recovered, deltas, atol=1e-12)
+
+    def test_clipping_limits_recovery(self):
+        # command 0.8 + delta 0.8 clips to 1.0: only 0.2 is observable.
+        recovered = self.drive([0.8], command=0.8)
+        assert recovered[0] == pytest.approx(0.2, abs=1e-12)
+
+    def test_no_history_returns_zero(self, quiet_world):
+        detector = ResidualAttackDetector()
+        assert detector.residual(quiet_world) == 0.0
+
+
+class TestBudgetEstimate:
+    def test_estimate_tracks_injection(self):
+        world = make_world(rng=None)
+        detector = ResidualAttackDetector(
+            DetectorConfig(min_consecutive=1)
+        )
+        for step in range(20):
+            if world.done:
+                break
+            detector.update(world)
+            control = Control(steer=0.0, thrust=0.0)
+            detector.observe_command(world, control)
+            world.tick(control, steer_delta=0.4 if step >= 5 else 0.0)
+        detector.update(world)
+        assert detector.estimate == pytest.approx(0.4, abs=0.02)
+
+    def test_noise_floor_suppresses_small_residuals(self):
+        world = make_world(rng=None)
+        detector = ResidualAttackDetector(DetectorConfig(noise_floor=0.05))
+        for _ in range(10):
+            detector.update(world)
+            control = Control(steer=0.0, thrust=0.0)
+            detector.observe_command(world, control)
+            world.tick(control, steer_delta=0.01)
+        assert detector.estimate == 0.0
+
+    def test_min_consecutive_gates_single_spikes(self):
+        world = make_world(rng=None)
+        detector = ResidualAttackDetector(
+            DetectorConfig(min_consecutive=3)
+        )
+        pattern = [0.0, 0.5, 0.0, 0.0, 0.5, 0.0]  # isolated spikes
+        for delta in pattern:
+            detector.update(world)
+            control = Control(steer=0.0, thrust=0.0)
+            detector.observe_command(world, control)
+            world.tick(control, steer_delta=delta)
+        detector.update(world)
+        assert detector.estimate == 0.0
+
+    def test_estimate_decays(self):
+        world = make_world(rng=None)
+        detector = ResidualAttackDetector(
+            DetectorConfig(min_consecutive=1, decay=0.9)
+        )
+        detector.update(world)
+        control = Control(steer=0.0, thrust=0.0)
+        detector.observe_command(world, control)
+        world.tick(control, steer_delta=0.5)
+        first = detector.update(world)
+        for _ in range(20):
+            detector.observe_command(world, Control())
+            if not world.done:
+                world.tick(Control())
+            later = detector.update(world)
+        assert later < first
+
+    def test_reset(self):
+        detector = ResidualAttackDetector()
+        detector._estimate = 0.7
+        detector.reset()
+        assert detector.estimate == 0.0
+
+
+class TestDetectorSwitchedAgent:
+    def test_starts_on_original(self, quiet_world):
+        original, column = make_agents()
+        agent = DetectorSwitchedAgent(original, column, sigma=0.2)
+        agent.reset(quiet_world)
+        agent.act(quiet_world)
+        assert agent.simplex.active is agent.simplex.original
+        assert agent.believed_budget == 0.0
+
+    def test_switches_under_sustained_attack(self, quiet_world):
+        original, column = make_agents()
+        agent = DetectorSwitchedAgent(original, column, sigma=0.2)
+        agent.reset(quiet_world)
+        for _ in range(10):
+            if quiet_world.done:
+                break
+            control = agent.act(quiet_world)
+            quiet_world.tick(control, steer_delta=0.6)
+        assert agent.believed_budget > 0.2
+        assert agent.simplex.active is agent.simplex.hardened
+
+    def test_no_switch_without_attack(self, quiet_world):
+        original, column = make_agents()
+        agent = DetectorSwitchedAgent(original, column, sigma=0.2)
+        agent.reset(quiet_world)
+        for _ in range(10):
+            if quiet_world.done:
+                break
+            quiet_world.tick(agent.act(quiet_world))
+        assert agent.believed_budget < 0.05
+        assert agent.simplex.active is agent.simplex.original

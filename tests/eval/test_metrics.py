@@ -1,0 +1,168 @@
+"""Tests for aggregate metrics: box stats, success rates, effort windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.episodes import EpisodeResult
+from repro.eval.metrics import (
+    HUMAN_REACTION_TIME,
+    BoxStats,
+    adversarial_reward_stats,
+    collision_rate,
+    effort_windows,
+    mean_deviation_rmse,
+    nominal_reward_stats,
+    reward_reduction,
+    success_rate,
+    time_to_collision_stats,
+)
+from repro.sim.collision import Collision, CollisionKind
+
+
+def make_result(
+    nominal=100.0,
+    adversarial=0.0,
+    side=False,
+    collided=False,
+    effort=0.0,
+    ttc=None,
+    deviation=0.02,
+):
+    collision = None
+    if collided or side:
+        collision = Collision(
+            kind=CollisionKind.SIDE if side else CollisionKind.FRONT,
+            ego="ego",
+            other="npc_0",
+            step=40,
+            time=4.0,
+        )
+    return EpisodeResult(
+        steps=40 if collision else 180,
+        duration=4.0 if collision else 18.0,
+        collision=collision,
+        passed_npcs=6,
+        nominal_return=nominal,
+        adversarial_return=adversarial,
+        mean_effort=effort,
+        deviation_rmse=deviation,
+        deviation_max=deviation * 3.0,
+        time_to_collision=ttc,
+    )
+
+
+class TestBoxStats:
+    def test_from_values(self):
+        stats = BoxStats.from_values([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.mean == 3.0
+        assert stats.median == 3.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.q1 == 2.0
+        assert stats.q3 == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoxStats.from_values([])
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_invariants(self, values):
+        stats = BoxStats.from_values(values)
+        assert stats.minimum <= stats.q1 <= stats.median <= stats.q3
+        assert stats.q3 <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+
+
+class TestRates:
+    def test_success_rate(self):
+        results = [make_result(side=True), make_result(), make_result()]
+        assert success_rate(results) == pytest.approx(1.0 / 3.0)
+
+    def test_collision_rate_counts_all_kinds(self):
+        results = [make_result(side=True), make_result(collided=True), make_result()]
+        assert collision_rate(results) == pytest.approx(2.0 / 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            success_rate([])
+        with pytest.raises(ValueError):
+            collision_rate([])
+
+
+class TestRewardAggregates:
+    def test_nominal_and_adversarial_stats(self):
+        results = [make_result(nominal=10.0, adversarial=-1.0),
+                   make_result(nominal=20.0, adversarial=3.0)]
+        assert nominal_reward_stats(results).mean == 15.0
+        assert adversarial_reward_stats(results).mean == 1.0
+
+    def test_reward_reduction(self):
+        nominal = [make_result(nominal=100.0)]
+        attacked = [make_result(nominal=16.0)]
+        assert reward_reduction(nominal, attacked) == pytest.approx(0.84)
+
+    def test_reward_reduction_zero_baseline(self):
+        with pytest.raises(ValueError):
+            reward_reduction([make_result(nominal=0.0)], [make_result()])
+
+    def test_mean_deviation(self):
+        results = [make_result(deviation=0.02), make_result(deviation=0.04)]
+        assert mean_deviation_rmse(results) == pytest.approx(0.03)
+
+
+class TestTimeToCollision:
+    def test_only_successful_counted(self):
+        results = [
+            make_result(side=True, ttc=0.8),
+            make_result(side=True, ttc=1.2),
+            make_result(collided=True, ttc=0.1),  # not a side collision
+            make_result(),
+        ]
+        stats = time_to_collision_stats(results)
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.minimum == pytest.approx(0.8)
+
+    def test_none_when_no_successes(self):
+        assert time_to_collision_stats([make_result()]) is None
+
+    def test_beats_human_reaction(self):
+        fast = time_to_collision_stats([make_result(side=True, ttc=0.9)])
+        slow = time_to_collision_stats([make_result(side=True, ttc=2.0)])
+        assert fast.beats_human_reaction
+        assert not slow.beats_human_reaction
+        assert HUMAN_REACTION_TIME == 1.25
+
+
+class TestEffortWindows:
+    def test_window_labels(self):
+        rows = effort_windows([make_result(effort=0.1)])
+        labels = [label for label, _, _ in rows]
+        assert labels == [
+            "[0.0,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "0.8+",
+        ]
+
+    def test_rates_per_window(self):
+        results = [
+            make_result(effort=0.1, side=True),
+            make_result(effort=0.15),
+            make_result(effort=0.5, side=True),
+            make_result(effort=0.95, side=True),
+        ]
+        rows = dict(
+            (label, (rate, n)) for label, rate, n in effort_windows(results)
+        )
+        assert rows["[0.0,0.2)"] == (0.5, 2)
+        assert rows["[0.4,0.6)"] == (1.0, 1)
+        assert rows["0.8+"] == (1.0, 1)
+        assert rows["[0.2,0.4)"] == (0.0, 0)
+
+    def test_last_window_open_ended(self):
+        results = [make_result(effort=5.0, side=True)]
+        rows = dict(
+            (label, n) for label, _, n in effort_windows(results)
+        )
+        assert rows["0.8+"] == 1

@@ -1,0 +1,133 @@
+"""Tests for trajectory recording and the statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.agents.modular import ModularAgent
+from repro.core import OracleAttacker
+from repro.eval import (
+    Trajectory,
+    bootstrap_mean_ci,
+    compare_nominal_rewards,
+    mann_whitney,
+    record_episode,
+    run_episodes,
+    success_rate_ci,
+)
+from repro.sim import Control, make_world
+
+
+def modular_victim(world):
+    return ModularAgent(world.road)
+
+
+class TestTrajectory:
+    def test_record_and_lengths(self, quiet_world):
+        trajectory = Trajectory()
+        trajectory.record(quiet_world)
+        quiet_world.tick(Control())
+        trajectory.record(quiet_world, delta=0.3)
+        assert len(trajectory) == 2
+        assert trajectory.deltas == [0.0, 0.3]
+
+    def test_actor_positions(self, quiet_world):
+        trajectory = Trajectory()
+        trajectory.record(quiet_world)
+        ego = trajectory.actor("ego")
+        assert ego.shape == (1, 2)
+        with pytest.raises(KeyError):
+            trajectory.actor("ghost")
+
+    def test_csv_export(self, quiet_world):
+        trajectory = Trajectory()
+        trajectory.record(quiet_world)
+        csv = trajectory.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "time,actor,x,y,yaw,speed,delta"
+        assert len(lines) == 1 + 1 + len(quiet_world.npcs)
+
+    def test_ascii_render(self, quiet_world):
+        trajectory = Trajectory()
+        for _ in range(20):
+            quiet_world.tick(Control(thrust=-0.3))
+            trajectory.record(quiet_world)
+        art = trajectory.render_ascii(width=60)
+        assert "E" in art
+        assert art.count("\n") > 10
+
+    def test_empty_render(self):
+        assert "empty" in Trajectory().render_ascii()
+
+
+class TestRecordEpisode:
+    def test_records_full_episode(self):
+        trajectory, world = record_episode(modular_victim, seed=1)
+        assert len(trajectory) == world.step_count + 1
+        assert world.done
+
+    def test_attack_deltas_recorded(self):
+        trajectory, world = record_episode(
+            modular_victim, attacker=OracleAttacker(budget=1.0), seed=1
+        )
+        assert any(abs(d) > 0.5 for d in trajectory.deltas)
+
+
+class TestMannWhitney:
+    def test_detects_clear_difference(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 1.0, 40)
+        b = rng.normal(3.0, 1.0, 40)
+        comparison = mann_whitney(a, b)
+        assert comparison.significant
+        assert comparison.mean_b > comparison.mean_a
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 1.0, 40)
+        b = rng.normal(0.0, 1.0, 40)
+        assert not mann_whitney(a, b).significant
+
+    def test_identical_constant_samples(self):
+        comparison = mann_whitney([2.0, 2.0], [2.0, 2.0])
+        assert comparison.p_value == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mann_whitney([], [1.0])
+
+    def test_compare_nominal_rewards(self):
+        nominal = run_episodes(modular_victim, None, n_episodes=3, seed=0)
+        attacked = run_episodes(
+            modular_victim,
+            lambda: OracleAttacker(budget=1.0),
+            n_episodes=3,
+            seed=0,
+        )
+        comparison = compare_nominal_rewards(nominal, attacked)
+        assert comparison.mean_a > comparison.mean_b
+
+
+class TestBootstrapAndWilson:
+    def test_bootstrap_ci_contains_mean(self):
+        values = np.random.default_rng(2).normal(5.0, 1.0, 50)
+        mean, low, high = bootstrap_mean_ci(values)
+        assert low <= mean <= high
+        assert high - low < 1.5
+
+    def test_bootstrap_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_wilson_interval_bounds(self):
+        results = run_episodes(
+            modular_victim,
+            lambda: OracleAttacker(budget=1.0),
+            n_episodes=4,
+            seed=0,
+        )
+        rate, low, high = success_rate_ci(results)
+        assert 0.0 <= low <= rate <= high <= 1.0
+
+    def test_wilson_empty_raises(self):
+        with pytest.raises(ValueError):
+            success_rate_ci([])

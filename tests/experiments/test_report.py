@@ -1,0 +1,34 @@
+"""Test for the EXPERIMENTS.md report generator (tiny protocol)."""
+
+import pytest
+
+from repro.experiments import registry
+
+REQUIRED = [
+    registry.E2E_DRIVER,
+    registry.CAMERA_ATTACKER_E2E,
+    registry.CAMERA_ATTACKER_MODULAR,
+    registry.IMU_ATTACKER,
+    registry.FINETUNED_RHO_11,
+    registry.FINETUNED_RHO_2,
+    registry.PNN_COLUMN,
+]
+
+needs_artifacts = pytest.mark.skipif(
+    not all(registry.has_artifact(name) for name in REQUIRED),
+    reason="shipped artifacts missing; run examples/train_all.py",
+)
+
+
+@needs_artifacts
+def test_report_generation_tiny(tmp_path):
+    from repro.experiments.report import generate
+
+    path = generate(tmp_path / "EXPERIMENTS.md", episodes=2, rounds=1)
+    text = path.read_text()
+    assert "# EXPERIMENTS" in text
+    assert "Fig. 4" in text
+    assert "Fig. 8" in text
+    assert "| paper claim | measured | status |" in text
+    # Every section rendered a table.
+    assert text.count("```") >= 10

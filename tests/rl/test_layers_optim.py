@@ -1,0 +1,120 @@
+"""Tests for modules, MLPs and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.rl.nn.autograd import Tensor
+from repro.rl.nn.layers import Linear, Mlp, relu, tanh
+from repro.rl.nn.optim import Adam, Sgd
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_gradients_flow(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, np.full(3, 2.0))
+
+    def test_dims(self):
+        layer = Linear(7, 2)
+        assert layer.in_dim == 7
+        assert layer.out_dim == 2
+
+
+class TestMlp:
+    def test_forward_shapes(self):
+        mlp = Mlp((6, 16, 16, 2), rng=np.random.default_rng(1))
+        out = mlp(Tensor(np.zeros((3, 6))))
+        assert out.shape == (3, 2)
+
+    def test_forward_np_matches_autodiff(self):
+        mlp = Mlp(
+            (5, 8, 4), activation=relu, output_activation=tanh,
+            rng=np.random.default_rng(2),
+        )
+        x = np.random.default_rng(3).normal(size=(7, 5))
+        np.testing.assert_allclose(mlp.forward_np(x), mlp(Tensor(x)).data)
+
+    def test_hidden_features_count(self):
+        mlp = Mlp((5, 8, 8, 2), rng=np.random.default_rng(0))
+        features = mlp.hidden_features(Tensor(np.zeros((1, 5))))
+        assert len(features) == 2
+        assert features[0].shape == (1, 8)
+
+    def test_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            Mlp((4,))
+
+    def test_state_dict_roundtrip(self):
+        a = Mlp((4, 8, 2), rng=np.random.default_rng(0))
+        b = Mlp((4, 8, 2), rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = np.ones((1, 4))
+        np.testing.assert_allclose(a.forward_np(x), b.forward_np(x))
+
+    def test_state_dict_mismatch_raises(self):
+        a = Mlp((4, 8, 2))
+        state = a.state_dict()
+        del state[next(iter(state))]
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_freeze(self):
+        mlp = Mlp((4, 8, 2))
+        mlp.freeze()
+        assert mlp.trainable_parameters() == []
+        assert len(mlp.parameters()) == 4
+
+
+class TestOptimizers:
+    @staticmethod
+    def quadratic_problem(optimizer_cls, **kwargs):
+        """Minimize ||x - target||^2; returns final distance."""
+        target = np.array([1.0, -2.0, 3.0])
+        x = Tensor(np.zeros(3), requires_grad=True)
+        opt = optimizer_cls([x], **kwargs)
+        for _ in range(400):
+            loss = ((x - Tensor(target)) ** 2.0).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return float(np.max(np.abs(x.data - target)))
+
+    def test_sgd_converges(self):
+        assert self.quadratic_problem(Sgd, lr=0.05) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self.quadratic_problem(Sgd, lr=0.02, momentum=0.9) < 1e-3
+
+    def test_adam_converges(self):
+        assert self.quadratic_problem(Adam, lr=0.05) < 1e-3
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor(np.zeros(1), requires_grad=True)], lr=0.0)
+
+    def test_skips_frozen_params(self):
+        frozen = Tensor(np.zeros(2), requires_grad=False)
+        opt = Adam([frozen], lr=0.1)
+        assert opt.params == []
+
+    def test_grad_clipping(self):
+        x = Tensor(np.zeros(2), requires_grad=True)
+        opt = Adam([x], lr=0.1, max_grad_norm=1.0)
+        loss = (x * Tensor(np.array([1e6, 1e6]))).sum()
+        loss.backward()
+        opt._clip_grads()
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0)
+
+    def test_step_without_grad_is_noop(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        opt = Adam([x], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(x.data, np.ones(2))

@@ -1,0 +1,105 @@
+"""Tests for the semantic segmentation cameras."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.camera import (
+    BevCamera,
+    BevCameraConfig,
+    PanoramaCamera,
+    PanoramaCameraConfig,
+    SemanticClass,
+)
+from repro.sim import Control, make_world
+
+
+class TestBevCamera:
+    def test_observation_dim(self):
+        camera = BevCamera(BevCameraConfig(rows=10, cols=6))
+        assert camera.observation_dim == 60
+
+    def test_observe_normalized(self, quiet_world):
+        camera = BevCamera()
+        obs = camera.observe(quiet_world)
+        assert obs.shape == (camera.observation_dim,)
+        assert obs.min() >= 0.0 and obs.max() <= 1.0
+
+    def test_sees_road_under_ego(self, quiet_world):
+        camera = BevCamera()
+        grid = camera.render(quiet_world)
+        road_like = {
+            int(SemanticClass.ROAD),
+            int(SemanticClass.LANE_MARKING),
+            int(SemanticClass.VEHICLE),
+        }
+        # The center of the grid sits on the roadway.
+        assert int(grid[grid.shape[0] // 2, grid.shape[1] // 2]) in road_like
+
+    def test_sees_off_road_at_edges(self, quiet_world):
+        camera = BevCamera(BevCameraConfig(half_width=20.0, cols=21))
+        grid = camera.render(quiet_world)
+        assert int(grid[0, 0]) == int(SemanticClass.OFF_ROAD)
+        assert int(grid[0, -1]) == int(SemanticClass.OFF_ROAD)
+
+    def test_sees_npc_ahead(self, quiet_world):
+        camera = BevCamera()
+        grid = camera.render(quiet_world)
+        assert np.any(grid == int(SemanticClass.VEHICLE))
+
+    def test_npc_pixels_move_closer_as_ego_approaches(self, quiet_world):
+        camera = BevCamera()
+        before = camera.render(quiet_world)
+        rows_before = np.where(before == int(SemanticClass.VEHICLE))[0]
+        for _ in range(15):
+            quiet_world.tick(Control())
+        after = camera.render(quiet_world)
+        rows_after = np.where(after == int(SemanticClass.VEHICLE))[0]
+        assert rows_before.size and rows_after.size
+        # Row index grows toward the ego's forward direction; the nearest
+        # vehicle pixel appears at a smaller forward distance after closing in.
+        assert rows_after.min() <= rows_before.min()
+
+    def test_view_rotates_with_ego(self, quiet_world):
+        camera = BevCamera(BevCameraConfig(half_width=20.0, cols=21))
+        quiet_world.ego.state.yaw = np.pi / 2.0  # face across the road
+        grid = camera.render(quiet_world)
+        # Looking across the road, far forward cells are off-road.
+        assert int(grid[-1, grid.shape[1] // 2]) == int(SemanticClass.OFF_ROAD)
+
+    def test_lane_markings_present_at_high_resolution(self, quiet_world):
+        camera = BevCamera(BevCameraConfig(rows=40, cols=120, half_width=9.0))
+        grid = camera.render(quiet_world)
+        assert np.any(grid == int(SemanticClass.LANE_MARKING))
+
+    def test_reset_is_noop(self, quiet_world):
+        camera = BevCamera()
+        first = camera.observe(quiet_world)
+        camera.reset()
+        np.testing.assert_array_equal(first, camera.observe(quiet_world))
+
+
+class TestPanoramaCamera:
+    def test_paper_resolution(self):
+        camera = PanoramaCamera()
+        assert camera.config.height == 84
+        assert camera.config.width == 420
+        assert camera.observation_dim == 84 * 420
+
+    def test_render_shape_and_classes(self, quiet_world):
+        camera = PanoramaCamera(PanoramaCameraConfig(height=21, width=60))
+        image = camera.render(quiet_world)
+        assert image.shape == (21, 60)
+        assert set(np.unique(image)) <= {0, 1, 2, 3}
+
+    def test_sees_vehicle_ahead(self, quiet_world):
+        camera = PanoramaCamera(PanoramaCameraConfig(height=42, width=210))
+        image = camera.render(quiet_world)
+        assert np.any(image == int(SemanticClass.VEHICLE))
+
+    def test_forward_column_is_road(self, quiet_world):
+        camera = PanoramaCamera(PanoramaCameraConfig(height=21, width=61))
+        image = camera.render(quiet_world)
+        center = image[:, image.shape[1] // 2]
+        assert int(SemanticClass.ROAD) in set(center.tolist()) | {
+            int(SemanticClass.VEHICLE)
+        }

@@ -1,0 +1,87 @@
+"""Tests for collision detection and side/front/rear classification."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.collision import (
+    CollisionKind,
+    check_barrier,
+    check_vehicle_pair,
+    classify_vehicle_collision,
+)
+from repro.sim.config import VehicleConfig
+from repro.sim.vehicle import Vehicle, VehicleState
+
+
+def vehicle_at(x, y, yaw=0.0, name="v"):
+    return Vehicle(name, VehicleConfig(), VehicleState(x=x, y=y, yaw=yaw))
+
+
+class TestClassification:
+    def test_side_left(self):
+        ego = vehicle_at(0.0, 0.0)
+        other = vehicle_at(0.0, 2.0)
+        assert classify_vehicle_collision(ego, other) is CollisionKind.SIDE
+
+    def test_side_right(self):
+        ego = vehicle_at(0.0, 0.0)
+        other = vehicle_at(0.5, -2.0)
+        assert classify_vehicle_collision(ego, other) is CollisionKind.SIDE
+
+    def test_front(self):
+        ego = vehicle_at(0.0, 0.0)
+        other = vehicle_at(4.5, 0.2)
+        assert classify_vehicle_collision(ego, other) is CollisionKind.FRONT
+
+    def test_rear(self):
+        ego = vehicle_at(0.0, 0.0)
+        other = vehicle_at(-4.5, 0.2)
+        assert classify_vehicle_collision(ego, other) is CollisionKind.REAR
+
+    def test_respects_ego_heading(self):
+        """A vehicle straight ahead in world frame is a side hit if the ego
+        has yawed 90 degrees."""
+        ego = vehicle_at(0.0, 0.0, yaw=math.pi / 2.0)
+        other = vehicle_at(3.0, 0.0)
+        assert classify_vehicle_collision(ego, other) is CollisionKind.SIDE
+
+    @given(st.floats(0.5, 2 * math.pi))
+    @settings(max_examples=30)
+    def test_classification_total(self, bearing):
+        ego = vehicle_at(0.0, 0.0)
+        other = vehicle_at(3.0 * math.cos(bearing), 3.0 * math.sin(bearing))
+        kind = classify_vehicle_collision(ego, other)
+        assert kind in {CollisionKind.SIDE, CollisionKind.FRONT, CollisionKind.REAR}
+
+
+class TestPairCheck:
+    def test_no_contact_returns_none(self):
+        assert check_vehicle_pair(vehicle_at(0, 0), vehicle_at(20, 0)) is None
+
+    def test_contact_classified(self):
+        kind = check_vehicle_pair(vehicle_at(0, 0), vehicle_at(1.0, 1.9))
+        assert kind is CollisionKind.SIDE
+
+    def test_adjacent_lane_no_contact(self):
+        # Two 2.0 m wide vehicles centered 3.5 m apart do not touch.
+        assert check_vehicle_pair(vehicle_at(0, 0), vehicle_at(0, 3.5)) is None
+
+
+class TestBarrier:
+    def test_on_road_no_barrier(self, road):
+        position, yaw = road.lane_center(0, 100.0)
+        vehicle = vehicle_at(position[0], position[1], yaw)
+        assert not check_barrier(vehicle, road)
+
+    def test_off_road_hits_barrier(self, road):
+        vehicle = vehicle_at(100.0, road.barrier_offset + 2.0)
+        assert check_barrier(vehicle, road)
+
+    def test_corner_crossing_counts(self, road):
+        # Center still inside, but a corner pokes past the barrier.
+        edge = road.barrier_offset
+        vehicle = vehicle_at(100.0, edge - 0.5, yaw=0.4)
+        assert check_barrier(vehicle, road)

@@ -1,0 +1,88 @@
+"""Tests for scenario presets and the curved-road variant."""
+
+import numpy as np
+import pytest
+
+from repro.agents.modular import ModularAgent
+from repro.sim import PRESETS, Control, curved_world, make_world
+from repro.sim.presets import (
+    dense_traffic,
+    fast_npcs,
+    light_traffic,
+    paper_scenario,
+    two_lane,
+)
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(PRESETS) == {
+            "paper", "dense", "light", "two-lane", "fast-npcs",
+        }
+
+    def test_paper_matches_default(self):
+        config = paper_scenario()
+        assert config.n_npcs == 6
+        assert config.ego_speed == 16.0
+        assert config.npc_speed == 6.0
+        assert config.max_steps == 180
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_all_presets_build_and_tick(self, name):
+        world = make_world(PRESETS[name](), rng=np.random.default_rng(0))
+        assert len(world.npcs) == world.config.n_npcs
+        result = world.tick(Control(thrust=-0.5))
+        assert result.step == 1
+
+    def test_dense_has_more_npcs(self):
+        assert dense_traffic().n_npcs > paper_scenario().n_npcs
+
+    def test_light_has_fewer_npcs(self):
+        assert light_traffic().n_npcs < paper_scenario().n_npcs
+
+    def test_two_lane_road(self):
+        world = make_world(two_lane(), rng=None)
+        assert world.road.n_lanes == 2
+
+    def test_fast_npcs_speed(self):
+        world = make_world(fast_npcs(), rng=None)
+        assert world.npcs[0].vehicle.state.speed == pytest.approx(10.0)
+
+    def test_modular_agent_survives_dense_traffic(self):
+        world = make_world(dense_traffic(), rng=np.random.default_rng(4))
+        agent = ModularAgent(world.road)
+        agent.reset(world)
+        result = None
+        while not world.done:
+            result = world.tick(agent.act(world))
+        assert result.collision is None
+        assert world.passed_npcs >= 4
+
+
+class TestCurvedWorld:
+    def test_builds_with_npcs_on_lanes(self):
+        world = curved_world(rng=np.random.default_rng(0))
+        for npc in world.npcs:
+            _, d, _ = world.road.to_frenet(npc.vehicle.state.position)
+            assert world.road.lane_at(d) == npc.driver.lane
+
+    def test_npcs_keep_lane_on_curve(self):
+        world = curved_world(rng=None)
+        for _ in range(50):
+            if world.done:
+                break
+            world.tick(Control(thrust=-0.3))
+        for npc in world.npcs:
+            _, d, _ = world.road.to_frenet(npc.vehicle.state.position)
+            deviation = world.road.lateral_deviation(d, npc.driver.lane)
+            assert abs(deviation) < 0.6
+
+    def test_modular_agent_drives_curved_road(self):
+        world = curved_world(rng=np.random.default_rng(2))
+        agent = ModularAgent(world.road)
+        agent.reset(world)
+        result = None
+        while not world.done:
+            result = world.tick(agent.act(world))
+        assert result.collision is None
+        assert world.passed_npcs >= 4

@@ -1,0 +1,144 @@
+"""Tests for road geometry, Frenet frames and the routing graph."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import RoadConfig
+from repro.sim.road import Road, default_road
+
+
+class TestConstruction:
+    def test_straight_length(self, road):
+        assert road.length == pytest.approx(road.config.length)
+
+    def test_rejects_bad_centerline(self):
+        with pytest.raises(ValueError):
+            Road(RoadConfig(), np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            Road(RoadConfig(), np.zeros((5, 3)))
+
+    def test_curved_has_lateral_extent(self):
+        curved = Road.curved(RoadConfig(length=220.0), amplitude=5.0)
+        ys = curved.centerline[:, 1]
+        assert ys.max() > 4.0 and ys.min() < -4.0
+
+    def test_default_road_cached(self):
+        assert default_road() is default_road()
+
+
+class TestLanes:
+    def test_lane_offsets_symmetric(self, road):
+        offsets = [road.lane_offset(i) for i in range(road.n_lanes)]
+        assert offsets == sorted(offsets)
+        assert sum(offsets) == pytest.approx(0.0)
+
+    def test_lane_offset_spacing(self, road):
+        assert road.lane_offset(1) - road.lane_offset(0) == pytest.approx(
+            road.config.lane_width
+        )
+
+    def test_invalid_lane_raises(self, road):
+        with pytest.raises(ValueError):
+            road.lane_offset(-1)
+        with pytest.raises(ValueError):
+            road.lane_offset(road.n_lanes)
+
+    def test_lane_at_centers(self, road):
+        for lane in range(road.n_lanes):
+            assert road.lane_at(road.lane_offset(lane)) == lane
+
+    def test_lane_at_off_road(self, road):
+        assert road.lane_at(road.half_width + 1.0) is None
+        assert road.lane_at(-road.half_width - 1.0) is None
+
+    def test_off_road_boundaries(self, road):
+        assert not road.off_road(0.0)
+        assert not road.off_road(road.half_width + road.config.shoulder * 0.5)
+        assert road.off_road(road.barrier_offset + 0.01)
+
+    def test_lateral_deviation(self, road):
+        assert road.lateral_deviation(road.lane_offset(2), 2) == pytest.approx(0.0)
+        assert road.lateral_deviation(road.lane_offset(2) + 0.5, 2) == (
+            pytest.approx(0.5)
+        )
+
+
+class TestFrenet:
+    def test_roundtrip_straight(self, road):
+        position, yaw = road.to_world(100.0, 2.0)
+        s, d, tangent = road.to_frenet(position)
+        assert s == pytest.approx(100.0, abs=1e-6)
+        assert d == pytest.approx(2.0, abs=1e-9)
+        assert tangent == pytest.approx(yaw, abs=1e-9)
+
+    @given(st.floats(5.0, 440.0), st.floats(-6.0, 6.0))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, s, d):
+        road = default_road()
+        position, _ = road.to_world(s, d)
+        s2, d2, _ = road.to_frenet(position)
+        assert s2 == pytest.approx(s, abs=1e-6)
+        assert d2 == pytest.approx(d, abs=1e-6)
+
+    def test_roundtrip_curved(self):
+        road = Road.curved(RoadConfig(length=200.0))
+        position, _ = road.to_world(80.0, -3.0)
+        s, d, _ = road.to_frenet(position)
+        assert s == pytest.approx(80.0, abs=0.3)
+        assert d == pytest.approx(-3.0, abs=0.05)
+
+    def test_lane_center_positions(self, road):
+        position, yaw = road.lane_center(0, 50.0)
+        assert position[0] == pytest.approx(50.0)
+        assert position[1] == pytest.approx(road.lane_offset(0))
+        assert yaw == pytest.approx(0.0)
+
+
+class TestWaypoints:
+    def test_waypoints_ordered(self, road):
+        points = road.waypoints(0)
+        ss = [w.s for w in points]
+        assert ss == sorted(ss)
+        assert points[0].s == 0.0
+
+    def test_waypoint_spacing(self, road):
+        points = road.waypoints(1)
+        assert points[1].s - points[0].s == pytest.approx(
+            road.config.waypoint_spacing
+        )
+
+    def test_nearest_waypoint(self, road):
+        wp = road.nearest_waypoint(2, 33.0)
+        assert wp.lane == 2
+        assert abs(wp.s - 33.0) <= road.config.waypoint_spacing / 2.0 + 1e-9
+
+    def test_nearest_waypoint_clamped(self, road):
+        assert road.nearest_waypoint(0, -10.0).index == 0
+        last = road.nearest_waypoint(0, 1e9)
+        assert last.index == len(road.waypoints(0)) - 1
+
+
+class TestRoutingGraph:
+    def test_graph_is_dag_along_road(self, road):
+        assert nx.is_directed_acyclic_graph(road.graph)
+
+    def test_same_lane_route(self, road):
+        route = road.shortest_route((0, 0), (0, 10))
+        assert [w.lane for w in route] == [0] * 11
+
+    def test_lane_change_route(self, road):
+        route = road.shortest_route((0, 0), (2, 40))
+        lanes = {w.lane for w in route}
+        assert lanes >= {0, 1, 2}
+        # Monotone progress along the road.
+        ss = [w.s for w in route]
+        assert ss == sorted(ss)
+
+    def test_no_backward_route(self, road):
+        with pytest.raises(nx.NetworkXNoPath):
+            road.shortest_route((0, 10), (0, 0))

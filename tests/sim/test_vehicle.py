@@ -1,0 +1,203 @@
+"""Tests for the kinematic bicycle model and Eq. (1) actuation smoothing."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import VehicleConfig
+from repro.sim.vehicle import Control, Vehicle, VehicleState
+
+controls = st.floats(-1.0, 1.0, allow_nan=False)
+
+
+def make_vehicle(speed=10.0, **config_kwargs):
+    return Vehicle(
+        "test",
+        config=VehicleConfig(**config_kwargs),
+        state=VehicleState(speed=speed),
+    )
+
+
+class TestControl:
+    def test_clipped(self):
+        clipped = Control(steer=2.0, thrust=-3.0).clipped()
+        assert clipped.steer == 1.0
+        assert clipped.thrust == -1.0
+
+    @given(st.floats(-10, 10), st.floats(-10, 10))
+    def test_clip_bounds(self, steer, thrust):
+        clipped = Control(steer, thrust).clipped()
+        assert -1.0 <= clipped.steer <= 1.0
+        assert -1.0 <= clipped.thrust <= 1.0
+
+
+class TestSmoothing:
+    def test_eq1_blend(self):
+        vehicle = make_vehicle()
+        vehicle.state.steer_actuation = 1.0
+        vehicle.state.thrust_actuation = -1.0
+        steer, thrust = vehicle.smoothed_actuation(Control(0.0, 0.0))
+        assert steer == pytest.approx(vehicle.config.steer_retain)
+        assert thrust == pytest.approx(-vehicle.config.thrust_retain)
+
+    def test_converges_to_constant_command(self):
+        vehicle = make_vehicle(speed=5.0)
+        vehicle.apply_control(Control(steer=0.4, thrust=0.0))
+        for _ in range(60):
+            vehicle.step(0.1)
+            vehicle.apply_control(Control(steer=0.4, thrust=0.0))
+        assert vehicle.state.steer_actuation == pytest.approx(0.4, abs=1e-3)
+
+    @given(controls, controls)
+    @settings(max_examples=30)
+    def test_actuation_bounded(self, steer, thrust):
+        vehicle = make_vehicle()
+        for _ in range(20):
+            vehicle.apply_control(Control(steer, thrust))
+            vehicle.step(0.1)
+            assert -1.0 <= vehicle.state.steer_actuation <= 1.0
+            assert -1.0 <= vehicle.state.thrust_actuation <= 1.0
+
+
+class TestDynamics:
+    def test_straight_line_constant_speed(self):
+        vehicle = make_vehicle(speed=10.0, drag=0.0)
+        for _ in range(10):
+            vehicle.apply_control(Control(0.0, 0.0))
+            vehicle.step(0.1)
+        assert vehicle.state.x == pytest.approx(10.0, abs=1e-6)
+        assert vehicle.state.y == pytest.approx(0.0, abs=1e-9)
+        assert vehicle.state.speed == pytest.approx(10.0)
+
+    def test_throttle_accelerates(self):
+        vehicle = make_vehicle(speed=5.0)
+        vehicle.apply_control(Control(0.0, 1.0))
+        vehicle.step(0.1)
+        assert vehicle.state.speed > 5.0
+
+    def test_brake_decelerates_and_stops(self):
+        vehicle = make_vehicle(speed=2.0)
+        for _ in range(50):
+            vehicle.apply_control(Control(0.0, -1.0))
+            vehicle.step(0.1)
+        assert vehicle.state.speed == 0.0
+
+    def test_speed_never_negative(self):
+        vehicle = make_vehicle(speed=0.5)
+        for _ in range(30):
+            vehicle.apply_control(Control(0.0, -1.0))
+            vehicle.step(0.1)
+            assert vehicle.state.speed >= 0.0
+
+    def test_speed_capped(self):
+        vehicle = make_vehicle(speed=29.0, max_speed=30.0)
+        for _ in range(100):
+            vehicle.apply_control(Control(0.0, 1.0))
+            vehicle.step(0.1)
+        assert vehicle.state.speed <= 30.0
+
+    def test_positive_steer_turns_right(self):
+        """Paper convention: positive steering turns right (y decreases)."""
+        vehicle = make_vehicle(speed=10.0)
+        for _ in range(10):
+            vehicle.apply_control(Control(steer=0.5, thrust=0.0))
+            vehicle.step(0.1)
+        assert vehicle.state.y < -0.1
+        assert vehicle.state.yaw < 0.0
+
+    def test_negative_steer_turns_left(self):
+        vehicle = make_vehicle(speed=10.0)
+        for _ in range(10):
+            vehicle.apply_control(Control(steer=-0.5, thrust=0.0))
+            vehicle.step(0.1)
+        assert vehicle.state.y > 0.1
+
+    def test_lateral_accel_limited(self):
+        vehicle = make_vehicle(speed=16.0, drag=0.0)
+        vehicle.state.steer_actuation = 1.0
+        vehicle.apply_control(Control(steer=1.0, thrust=0.0))
+        vehicle.step(0.1)
+        sample = vehicle.imu_trace[-1]
+        limit = vehicle.config.max_lateral_accel
+        assert abs(sample.yaw_rate * vehicle.state.speed) <= limit + 1e-6
+
+    def test_drag_slows_coasting(self):
+        vehicle = make_vehicle(speed=16.0, drag=0.01)
+        vehicle.apply_control(Control(0.0, 0.0))
+        vehicle.step(0.1)
+        assert vehicle.state.speed < 16.0
+
+    @given(controls, controls)
+    @settings(max_examples=25)
+    def test_yaw_stays_normalized(self, steer, thrust):
+        vehicle = make_vehicle(speed=12.0)
+        for _ in range(40):
+            vehicle.apply_control(Control(steer, thrust))
+            vehicle.step(0.1)
+            assert -math.pi <= vehicle.state.yaw < math.pi
+
+
+class TestSubsteps:
+    def test_imu_trace_length(self):
+        vehicle = make_vehicle()
+        vehicle.step(0.1, substeps=2)
+        assert len(vehicle.imu_trace) == 2
+
+    def test_trace_reset_each_step(self):
+        vehicle = make_vehicle()
+        vehicle.step(0.1, substeps=2)
+        vehicle.step(0.1, substeps=2)
+        assert len(vehicle.imu_trace) == 2
+
+    def test_substeps_match_single_step_straight(self):
+        coarse = make_vehicle(speed=10.0)
+        fine = make_vehicle(speed=10.0)
+        for _ in range(5):
+            coarse.apply_control(Control(0.0, 0.3))
+            fine.apply_control(Control(0.0, 0.3))
+            coarse.step(0.1, substeps=1)
+            fine.step(0.1, substeps=4)
+        assert coarse.state.x == pytest.approx(fine.state.x, rel=1e-3)
+        assert coarse.state.speed == pytest.approx(fine.state.speed, rel=1e-3)
+
+    def test_invalid_args(self):
+        vehicle = make_vehicle()
+        with pytest.raises(ValueError):
+            vehicle.step(0.0)
+        with pytest.raises(ValueError):
+            vehicle.step(0.1, substeps=0)
+
+
+class TestImuSamples:
+    def test_longitudinal_accel_sign(self):
+        vehicle = make_vehicle(speed=5.0, drag=0.0)
+        vehicle.apply_control(Control(0.0, 1.0))
+        vehicle.step(0.1)
+        assert vehicle.imu_trace[-1].accel_long > 0.0
+
+    def test_yaw_rate_sign_matches_turn(self):
+        vehicle = make_vehicle(speed=10.0)
+        vehicle.apply_control(Control(steer=1.0, thrust=0.0))
+        vehicle.step(0.1)
+        assert vehicle.imu_trace[-1].yaw_rate < 0.0  # right turn = clockwise
+
+
+class TestFootprintAndTeleport:
+    def test_footprint_dimensions(self):
+        vehicle = make_vehicle()
+        box = vehicle.footprint()
+        assert box.length == vehicle.config.length
+        assert box.width == vehicle.config.width
+
+    def test_teleport_resets(self):
+        vehicle = make_vehicle()
+        vehicle.apply_control(Control(1.0, 1.0))
+        vehicle.step(0.1)
+        vehicle.teleport(5.0, 6.0, yaw=0.2, speed=3.0)
+        assert vehicle.state.x == 5.0
+        assert vehicle.state.steer_actuation == 0.0
+        assert vehicle.pending_control.steer == 0.0
+        assert vehicle.imu_trace == []

@@ -1,0 +1,65 @@
+"""Smoke tests running the example scripts as subprocesses."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "nominal episode" in out
+        assert "action-space attack" in out
+        assert "collision" in out
+
+    def test_scenario_gallery(self):
+        out = run_example("scenario_gallery.py")
+        assert "preset: dense" in out
+        assert "curved freeway" in out
+        assert "oracle attack" in out
+        assert "E" in out  # the rendered ego path
+
+    def test_train_all_fast(self, tmp_path):
+        """The full training pipeline on smoke-test budgets."""
+        out = run_example(
+            "train_all.py", "--fast", "--out", str(tmp_path), timeout=420
+        )
+        assert "done — artifacts" in out
+        expected = {
+            "e2e_driver.npz",
+            "camera_attacker.npz",
+            "camera_attacker_modular.npz",
+            "imu_attacker.npz",
+            "driver_finetuned_rho11.npz",
+            "driver_finetuned_rho2.npz",
+            "driver_pnn.npz",
+        }
+        assert expected <= {p.name for p in tmp_path.iterdir()}
+
+    def test_reproduce_all_help(self):
+        out = run_example("reproduce_all.py", "--help")
+        assert "EXPERIMENTS.md" in out
+
+    def test_attack_demo_help(self):
+        out = run_example("attack_demo.py", "--help")
+        assert "--episodes" in out
+
+    def test_defense_comparison_help(self):
+        out = run_example("defense_comparison.py", "--help")
+        assert "--episodes" in out

@@ -1,0 +1,118 @@
+"""End-to-end integration tests tying the whole system together.
+
+These run the complete pipeline on tiny budgets — train a driver, train an
+attacker against it, attack, defend — exercising every package boundary
+without relying on shipped artifacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents.e2e import EndToEndAgent
+from repro.agents.e2e.training import DriverTrainConfig, train_driver
+from repro.agents.modular import ModularAgent
+from repro.core import OracleAttacker
+from repro.core.training import AttackTrainConfig, train_camera_attacker
+from repro.defense import FinetuneConfig, adversarial_finetune
+from repro.eval import run_episode, run_episodes, success_rate
+from repro.rl.bc import BcConfig
+
+
+@pytest.fixture(scope="module")
+def trained_driver():
+    """A small but driving-competent e2e agent trained in-process."""
+    config = DriverTrainConfig(
+        bc_episodes=6, bc=BcConfig(epochs=10), sac_steps=0, eval_episodes=2
+    )
+    agent, metrics = train_driver(config)
+    return agent, metrics
+
+
+class TestFullPipeline:
+    def test_trained_driver_drives(self, trained_driver):
+        agent, metrics = trained_driver
+        assert metrics["mean_passed"] >= 4.0
+        result = run_episode(lambda w: EndToEndAgent(agent.policy), seed=77)
+        assert result.nominal_return > 80.0
+
+    def test_oracle_attack_defeats_trained_driver(self, trained_driver):
+        agent, _ = trained_driver
+        results = run_episodes(
+            lambda w: EndToEndAgent(agent.policy),
+            lambda: OracleAttacker(budget=1.0),
+            n_episodes=4,
+            seed=100,
+        )
+        # Full-budget attacks collapse the trained driver.
+        assert all(r.collision is not None for r in results)
+        assert success_rate(results) >= 0.5
+
+    def test_trained_attacker_beats_zero_budget(self, trained_driver):
+        agent, _ = trained_driver
+        victim_factory = lambda w: EndToEndAgent(agent.policy)
+        attacker, metrics = train_camera_attacker(
+            victim_factory,
+            AttackTrainConfig(
+                bc_episodes=4,
+                bc=BcConfig(epochs=10),
+                sac_steps=0,
+                bc_restarts=2,
+                eval_episodes=3,
+            ),
+        )
+        attacked = run_episodes(
+            victim_factory,
+            lambda: attacker,
+            n_episodes=3,
+            seed=200,
+        )
+        nominal = run_episodes(victim_factory, None, n_episodes=3, seed=200)
+        mean_attacked = np.mean([r.nominal_return for r in attacked])
+        mean_nominal = np.mean([r.nominal_return for r in nominal])
+        assert mean_attacked < mean_nominal
+
+    def test_finetuned_defense_improves_under_attack(self, trained_driver):
+        agent, _ = trained_driver
+        attacker = _quick_attacker(agent)
+        tuned = adversarial_finetune(
+            agent,
+            attacker,
+            FinetuneConfig(rho=0.25, episodes=6, bc=BcConfig(epochs=8)),
+        )
+        base_results = run_episodes(
+            lambda w: EndToEndAgent(agent.policy),
+            lambda: attacker.with_budget(0.5),
+            n_episodes=4,
+            seed=300,
+        )
+        tuned_results = run_episodes(
+            lambda w: tuned,
+            lambda: attacker.with_budget(0.5),
+            n_episodes=4,
+            seed=300,
+        )
+        base_mean = np.mean([r.nominal_return for r in base_results])
+        tuned_mean = np.mean([r.nominal_return for r in tuned_results])
+        assert tuned_mean > base_mean - 15.0  # defense never catastrophic
+
+
+def _quick_attacker(driver):
+    attacker, _ = train_camera_attacker(
+        lambda w: EndToEndAgent(driver.policy),
+        AttackTrainConfig(
+            bc_episodes=4,
+            bc=BcConfig(epochs=10),
+            sac_steps=0,
+            bc_restarts=1,
+            eval_episodes=2,
+        ),
+    )
+    return attacker
+
+
+class TestModularVsE2eContrast:
+    def test_modular_tracks_tighter_nominally(self, trained_driver):
+        agent, _ = trained_driver
+        modular = run_episode(lambda w: ModularAgent(w.road), seed=55)
+        e2e = run_episode(lambda w: EndToEndAgent(agent.policy), seed=55)
+        assert modular.deviation_rmse <= e2e.deviation_rmse + 0.02

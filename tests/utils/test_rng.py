@@ -1,0 +1,55 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+
+from repro.utils.rng import RngStreams, seed_everything
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(42).get("traffic").normal(size=5)
+        b = RngStreams(42).get("traffic").normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_independent(self):
+        streams = RngStreams(42)
+        a = streams.get("traffic").normal(size=5)
+        b = streams.get("policy").normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("traffic").normal(size=5)
+        b = RngStreams(2).get("traffic").normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_get_is_cached(self):
+        streams = RngStreams(0)
+        assert streams.get("x") is streams.get("x")
+
+    def test_spawn_indexed(self):
+        streams = RngStreams(7)
+        a = streams.spawn("episode", 0).normal(size=3)
+        b = streams.spawn("episode", 1).normal(size=3)
+        c = RngStreams(7).spawn("episode", 0).normal(size=3)
+        assert not np.allclose(a, b)
+        np.testing.assert_array_equal(a, c)
+
+    def test_spawn_does_not_disturb_named_stream(self):
+        baseline = RngStreams(9).get("env").normal(size=4)
+        streams = RngStreams(9)
+        streams.spawn("episode", 5)
+        np.testing.assert_array_equal(streams.get("env").normal(size=4), baseline)
+
+
+class TestSeedEverything:
+    def test_returns_streams(self):
+        streams = seed_everything(13)
+        assert isinstance(streams, RngStreams)
+        assert streams.seed == 13
+
+    def test_seeds_legacy_numpy(self):
+        seed_everything(13)
+        a = np.random.rand(3)
+        seed_everything(13)
+        b = np.random.rand(3)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,44 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+
+class TestCheckpointRoundtrip:
+    def test_arrays_roundtrip(self, tmp_path):
+        arrays = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        path = save_checkpoint(tmp_path / "model", arrays)
+        loaded, meta = load_checkpoint(path)
+        assert set(loaded) == {"w", "b"}
+        np.testing.assert_array_equal(loaded["w"], arrays["w"])
+        assert meta == {}
+
+    def test_meta_roundtrip(self, tmp_path):
+        meta = {"obs_dim": 12, "kind": "sac", "nested": {"lr": 3e-4}}
+        path = save_checkpoint(tmp_path / "m", {"w": np.ones(2)}, meta)
+        _, loaded_meta = load_checkpoint(path)
+        assert loaded_meta == meta
+
+    def test_suffix_forced(self, tmp_path):
+        path = save_checkpoint(tmp_path / "model.ckpt", {"w": np.ones(1)})
+        assert path.suffix == ".npz"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(tmp_path / "m", {"__meta__": np.ones(1)})
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_checkpoint(tmp_path / "a" / "b" / "m", {"w": np.ones(1)})
+        assert path.exists()
+
+    def test_dtype_preserved(self, tmp_path):
+        arrays = {"f32": np.ones(3, dtype=np.float32)}
+        path = save_checkpoint(tmp_path / "m", arrays)
+        loaded, _ = load_checkpoint(path)
+        assert loaded["f32"].dtype == np.float32
