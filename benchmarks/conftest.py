@@ -9,7 +9,31 @@ of one full experiment run.
 Run:  pytest benchmarks/ --benchmark-only
       pytest benchmarks/ --benchmark-only -s   # also show the reproduced tables
 (`examples/reproduce_all.py` writes the same tables into EXPERIMENTS.md.)
+
+Telemetry artifact — ``BENCH_telemetry.json``
+    Every bench session enables the span tracer and, on teardown, writes a
+    machine-readable perf snapshot to ``BENCH_telemetry.json`` at the repo
+    root so successive PRs have a trajectory to compare against. Layout::
+
+        {
+          "schema": 1,
+          "wall_clock_s": <total session seconds>,
+          "python": "...", "numpy": "...", "platform": "...",
+          "spans":   {"<span path>": {count, total_s, mean_us, p50_us,
+                                      p90_us, p99_us, min_us, max_us}, ...},
+          "metrics": {"counters": {...}, "gauges": {...},
+                      "histograms": {...}}   # repro.telemetry snapshot
+        }
+
+    Span paths follow :mod:`repro.telemetry.spans` nesting (e.g.
+    ``episode/world.tick``); durations are wall-clock microseconds.
 """
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
@@ -40,3 +64,33 @@ def artifacts_ready():
             f"missing artifacts {missing}; run `python examples/train_all.py`"
         )
     return True
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry(request):
+    """Collect spans/metrics for the session; write BENCH_telemetry.json."""
+    import numpy as np
+
+    from repro.telemetry.metrics import get_registry
+    from repro.telemetry.spans import get_tracer
+
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enable()
+    started = time.perf_counter()
+    yield
+    payload = {
+        "schema": 1,
+        "wall_clock_s": round(time.perf_counter() - started, 3),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "spans": tracer.snapshot(),
+        "metrics": get_registry().snapshot(),
+    }
+    out = Path(str(request.config.rootpath)) / "BENCH_telemetry.json"
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    if not was_enabled:
+        tracer.disable()

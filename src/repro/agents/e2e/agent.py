@@ -17,6 +17,7 @@ from repro.rl.pnn import ProgressivePolicy
 from repro.rl.policy import SquashedGaussianPolicy
 from repro.sim.vehicle import Control
 from repro.sim.world import World
+from repro.telemetry.spans import timed
 from repro.utils.serialization import load_checkpoint, save_checkpoint
 
 #: Hidden widths used by all shipped driving policies.
@@ -43,6 +44,7 @@ class EndToEndAgent(DrivingAgent):
     def reset(self, world: World) -> None:
         self.observation.reset()
 
+    @timed("agent.e2e.act")
     def act(self, world: World) -> Control:
         obs = self.observation.observe(world)
         action = self.policy.act(

@@ -30,6 +30,11 @@ from repro.rl.policy import SquashedGaussianPolicy
 from repro.rl.sac import Sac, SacConfig
 from repro.sim.config import ScenarioConfig
 from repro.sim.scenario import make_world
+from repro.telemetry.log import get_logger
+from repro.telemetry.spans import span
+from repro.telemetry.trace import TraceWriter, default_writer
+
+log = get_logger("agents.e2e.training")
 
 
 @dataclass
@@ -147,13 +152,13 @@ def train_driver(
     )
     cloner = BehaviorCloner(policy, config.bc, rng=rng)
     losses = cloner.fit(observations, actions)
-    if progress:
-        print(f"[bc] dataset={len(observations)} final_loss={losses[-1]:.4f}")
+    (log.info if progress else log.debug)(
+        "bc.fit", dataset=len(observations), final_loss=float(losses[-1])
+    )
 
     agent = EndToEndAgent(policy, observation=encoder)
     metrics = evaluate_driver(agent, config.eval_episodes, seed=10_000)
-    if progress:
-        print(f"[bc] eval: {metrics}")
+    (log.info if progress else log.debug)("bc.eval", **metrics)
 
     if config.sac_steps > 0:
         refined, refined_metrics = refine_driver_sac(
@@ -171,40 +176,57 @@ def refine_driver_sac(
     rng: np.random.Generator,
     injector: SteerInjector | None = None,
     progress: bool = False,
+    trace: TraceWriter | None = None,
 ) -> tuple[SquashedGaussianPolicy, dict[str, float]]:
     """SAC refinement of a warm-started policy on the shaped reward.
 
     Returns the refined policy and its evaluation metrics; the caller
     decides whether to keep it. The ``injector`` hook makes this the same
     primitive adversarial fine-tuning (Section VI-A) builds on.
+    ``trace`` (or the ``REPRO_TRACE`` default writer) receives one
+    ``train_step`` event per environment step.
     """
+    trace = trace if trace is not None else default_writer()
     env = DrivingEnv(rng=rng, injector=injector)
     sac = Sac(
         env.observation_dim, env.action_dim, config.sac, rng=rng, actor=policy
     )
     obs = env.reset()
     episode_return = 0.0
-    for step in range(config.sac_steps):
-        action = sac.act(obs)
-        next_obs, reward, done, info = env.step(action)
-        sac.observe(
-            obs, action, reward, next_obs,
-            done and not info["truncated"],
-        )
-        episode_return += reward
-        obs = next_obs
-        if done:
-            if progress and env._episode % 10 == 0:
-                print(f"[sac] step={step} return={episode_return:.1f}")
-            obs = env.reset()
-            episode_return = 0.0
-        if step % config.sac.update_every == 0 and len(sac.replay) >= (
-            config.sac.batch_size
-        ):
-            sac.update()
+    with span("train.driver_sac"):
+        for step in range(config.sac_steps):
+            action = sac.act(obs)
+            next_obs, reward, done, info = env.step(action)
+            sac.observe(
+                obs, action, reward, next_obs,
+                done and not info["truncated"],
+            )
+            episode_return += reward
+            obs = next_obs
+            if trace is not None:
+                trace.emit(
+                    "train_step", loop="sac-driver", step=step,
+                    reward=float(reward), done=bool(done),
+                )
+            if done:
+                if env._episode % 10 == 0:
+                    (log.info if progress else log.debug)(
+                        "sac.episode", loop="sac-driver", step=step,
+                        episode=env._episode,
+                        episode_return=episode_return,
+                    )
+                obs = env.reset()
+                episode_return = 0.0
+            if step % config.sac.update_every == 0 and len(sac.replay) >= (
+                config.sac.batch_size
+            ):
+                sac.update()
+    if trace is not None:
+        trace.flush()
 
     agent = EndToEndAgent(policy, observation=DrivingObservation())
     metrics = evaluate_driver(agent, config.eval_episodes, seed=10_000)
-    if progress:
-        print(f"[sac] eval: {metrics}")
+    (log.info if progress else log.debug)(
+        "sac.eval", loop="sac-driver", **metrics
+    )
     return policy, metrics

@@ -26,6 +26,7 @@ from repro.agents.modular.pid import (
 from repro.sim.road import Road
 from repro.sim.vehicle import Control
 from repro.sim.world import World
+from repro.telemetry.spans import timed
 from repro.utils.geometry import normalize_angle
 
 
@@ -70,6 +71,7 @@ class ModularAgent(DrivingAgent):
         """The last plan computed by :meth:`act` (for metrics/inspection)."""
         return self._plan
 
+    @timed("agent.modular.act")
     def act(self, world: World) -> Control:
         plan = self.planner.update(world)
         self._plan = plan

@@ -58,17 +58,20 @@ class InjectionChannel:
     ) -> None:
         self.config = config or InjectionChannelConfig()
         self.rng = rng or np.random.default_rng(0)
-        #: Total |delta| injected since the last reset (the numerator of
-        #: the paper's *attack effort* metric).
+        #: Total |delta| injected since the last reset.
         self.total_effort = 0.0
         self.steps = 0
-        #: Steps with a non-negligible injection (the "attack attempt").
+        #: Steps with a non-negligible injection (the "attack attempt"),
+        #: and the |delta| injected during those steps (the numerator of
+        #: the paper's *attack effort* metric).
         self.active_steps = 0
+        self.active_effort = 0.0
 
     def reset(self) -> None:
         self.total_effort = 0.0
         self.steps = 0
         self.active_steps = 0
+        self.active_effort = 0.0
 
     @property
     def budget(self) -> float:
@@ -87,6 +90,7 @@ class InjectionChannel:
         self.steps += 1
         if abs(delta) > ACTIVE_THRESHOLD:
             self.active_steps += 1
+            self.active_effort += abs(delta)
         return delta
 
     @property
@@ -97,7 +101,9 @@ class InjectionChannel:
         injected during the attack attempt ... averaged over the number of
         steps in each attack attempt" — i.e. the average over the steps in
         which the attacker actually injected, not over the whole episode.
+        Sub-threshold (lurking) perturbations count toward neither the
+        numerator nor the denominator, so the mean never exceeds the budget.
         """
         if self.active_steps == 0:
             return 0.0
-        return self.total_effort / self.active_steps
+        return self.active_effort / self.active_steps

@@ -32,6 +32,11 @@ from repro.rl.policy import SquashedGaussianPolicy
 from repro.rl.sac import Sac, SacConfig
 from repro.sim.config import ScenarioConfig
 from repro.sim.scenario import make_world
+from repro.telemetry.log import get_logger
+from repro.telemetry.spans import span
+from repro.telemetry.trace import TraceWriter, default_writer
+
+log = get_logger("core.training")
 
 
 @dataclass
@@ -157,11 +162,10 @@ def _fit_best_of(
         metrics = evaluate_attacker(
             attacker, victim_factory, config.eval_episodes
         )
-        if progress:
-            print(
-                f"[{label}] restart {restart}: loss={losses[-1]:.4f} "
-                f"eval={metrics}"
-            )
+        (log.info if progress else log.debug)(
+            "bc.restart", label=label, restart=restart,
+            loss=float(losses[-1]), **metrics,
+        )
         better = best_metrics is None or (
             metrics["mean_adversarial_return"],
             metrics["success_rate"],
@@ -180,29 +184,43 @@ def _sac_refine(
     config: AttackTrainConfig,
     rng: np.random.Generator,
     progress: bool = False,
+    trace: TraceWriter | None = None,
+    loop_label: str = "sac-attack",
 ) -> None:
     """In-place SAC refinement of an attack policy in ``env``."""
+    trace = trace if trace is not None else default_writer()
     sac = Sac(env.observation_dim, env.action_dim, config.sac, rng=rng,
               actor=policy)
     obs = env.reset()
     episode_return, episode = 0.0, 0
-    for step in range(config.sac_steps):
-        action = sac.act(obs)
-        next_obs, reward, done, info = env.step(action)
-        sac.observe(obs, action, reward, next_obs,
-                    done and not info["truncated"])
-        episode_return += reward
-        obs = next_obs
-        if done:
-            episode += 1
-            if progress and episode % 20 == 0:
-                print(f"[sac-attack] step={step} return={episode_return:.1f}")
-            obs = env.reset()
-            episode_return = 0.0
-        if step % config.sac.update_every == 0 and len(sac.replay) >= (
-            config.sac.batch_size
-        ):
-            sac.update()
+    with span("train.sac_refine"):
+        for step in range(config.sac_steps):
+            action = sac.act(obs)
+            next_obs, reward, done, info = env.step(action)
+            sac.observe(obs, action, reward, next_obs,
+                        done and not info["truncated"])
+            episode_return += reward
+            obs = next_obs
+            if trace is not None:
+                trace.emit(
+                    "train_step", loop=loop_label, step=step,
+                    reward=float(reward), done=bool(done), episode=episode,
+                )
+            if done:
+                episode += 1
+                if episode % 20 == 0:
+                    (log.info if progress else log.debug)(
+                        "sac.episode", loop=loop_label, step=step,
+                        episode=episode, episode_return=episode_return,
+                    )
+                obs = env.reset()
+                episode_return = 0.0
+            if step % config.sac.update_every == 0 and len(sac.replay) >= (
+                config.sac.batch_size
+            ):
+                sac.update()
+    if trace is not None:
+        trace.flush()
 
 
 def train_camera_attacker(
@@ -243,8 +261,9 @@ def train_camera_attacker(
         refined_metrics = evaluate_attacker(
             refined, victim_factory, config.eval_episodes
         )
-        if progress:
-            print(f"[sac-attack] eval: {refined_metrics}")
+        (log.info if progress else log.debug)(
+            "sac.eval", loop="sac-attack", **refined_metrics
+        )
         if (
             refined_metrics["mean_adversarial_return"]
             >= metrics["mean_adversarial_return"]
@@ -323,13 +342,14 @@ def train_imu_attacker(
             rng=rng,
             teacher=teacher,
         )
-        _sac_refine(policy, env, config, rng, progress)
+        _sac_refine(policy, env, config, rng, progress, loop_label="sac-imu")
         refined = _make_attacker(policy, sensor, config.budget, "imu")
         refined_metrics = evaluate_attacker(
             refined, victim_factory, config.eval_episodes
         )
-        if progress:
-            print(f"[sac-imu] eval: {refined_metrics}")
+        (log.info if progress else log.debug)(
+            "sac.eval", loop="sac-imu", **refined_metrics
+        )
         if (
             refined_metrics["mean_adversarial_return"]
             >= metrics["mean_adversarial_return"]

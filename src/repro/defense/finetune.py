@@ -34,6 +34,9 @@ from repro.rl.bc import BcConfig, BehaviorCloner
 from repro.rl.policy import SquashedGaussianPolicy
 from repro.sim.config import ScenarioConfig
 from repro.sim.scenario import make_world
+from repro.telemetry.log import get_logger
+
+log = get_logger("defense.finetune")
 
 
 @dataclass
@@ -133,16 +136,14 @@ def adversarial_finetune(
         observations = np.concatenate([observations, new_obs])
         actions = np.concatenate([actions, new_actions])
         losses = cloner.fit(observations, actions)
-        if progress:
-            print(
-                f"[finetune rho={config.rho:.3f}] dagger round "
-                f"{round_index + 1}: dataset={len(observations)}"
-            )
-    if progress:
-        print(
-            f"[finetune rho={config.rho:.3f}] dataset={len(observations)} "
-            f"loss={losses[-1]:.4f}"
+        (log.info if progress else log.debug)(
+            "finetune.dagger_round", rho=config.rho,
+            round=round_index + 1, dataset=len(observations),
         )
+    (log.info if progress else log.debug)(
+        "finetune.fit", rho=config.rho, dataset=len(observations),
+        loss=float(losses[-1]),
+    )
     agent.name = f"adv-finetuned(rho={config.rho:.2f})"
     return agent
 

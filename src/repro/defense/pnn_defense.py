@@ -25,6 +25,9 @@ from repro.rl.pnn import ProgressivePolicy
 from repro.rl.policy import SquashedGaussianPolicy
 from repro.sim.vehicle import Control
 from repro.sim.world import World
+from repro.telemetry.log import get_logger
+
+log = get_logger("defense.pnn")
 
 
 @dataclass
@@ -92,8 +95,9 @@ def train_pnn_column(
         observations = np.concatenate([observations, new_obs])
         actions = np.concatenate([actions, new_actions])
         losses = cloner.fit(observations, actions)
-    if progress:
-        print(f"[pnn] dataset={len(observations)} loss={losses[-1]:.4f}")
+    (log.info if progress else log.debug)(
+        "pnn.fit", dataset=len(observations), loss=float(losses[-1])
+    )
     return progressive
 
 

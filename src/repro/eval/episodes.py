@@ -24,6 +24,9 @@ from repro.sim.collision import Collision, CollisionKind
 from repro.sim.config import ScenarioConfig
 from repro.sim.scenario import make_world
 from repro.sim.world import World
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import span
+from repro.telemetry.trace import TraceWriter, default_writer
 
 VictimFactory = Callable[[World], DrivingAgent]
 
@@ -69,6 +72,8 @@ def run_episode(
     scenario: ScenarioConfig | None = None,
     reward_config: DrivingRewardConfig | None = None,
     adversarial_config: AdversarialRewardConfig | None = None,
+    trace: TraceWriter | None = None,
+    episode_id: int | str | None = None,
 ) -> EpisodeResult:
     """Run one full episode and measure it.
 
@@ -76,6 +81,11 @@ def run_episode(
         victim_factory: builds the victim for the fresh world.
         attacker: a ``SteerInjector`` (``None`` = nominal driving).
         seed: controls spawn jitter; equal seeds give equal worlds.
+        trace: optional JSONL event writer receiving ``episode_start`` /
+            per-``tick`` / ``episode_end`` records; defaults to the
+            process-wide writer installed via ``REPRO_TRACE`` (usually
+            none). Telemetry is read-only: it never changes the episode.
+        episode_id: id stamped on trace events (defaults to ``seed``).
     """
     scenario = scenario or ScenarioConfig()
     world = make_world(scenario, rng=np.random.default_rng(seed))
@@ -89,6 +99,17 @@ def run_episode(
     nominal_reward = DrivingReward(reward_config)
     adversarial_reward = AdversarialReward(adversarial_config)
 
+    trace = trace if trace is not None else default_writer()
+    episode_id = episode_id if episode_id is not None else seed
+    if trace is not None:
+        trace.emit(
+            "episode_start",
+            episode=episode_id,
+            seed=seed,
+            victim=str(getattr(victim, "name", "agent")),
+            attacker=str(getattr(attacker, "name", "none")),
+        )
+
     nominal_total = 0.0
     adversarial_total = 0.0
     deviations: list[float] = []
@@ -99,26 +120,84 @@ def run_episode(
     strike_level = max(
         ACTIVE_THRESHOLD, 0.5 * float(getattr(attacker, "budget", 0.0))
     )
+    active_ticks = 0
+    activations = 0
+    previously_active = False
 
-    while not world.done:
-        plan = planner.update(world)
-        control = victim.act(world)
-        delta = float(attacker.delta(world, control))
-        result = world.tick(control, steer_delta=delta)
-        if abs(delta) >= strike_level and first_attack_time is None:
-            first_attack_time = result.time - scenario.dt
+    with span("episode"):
+        while not world.done:
+            plan = planner.update(world)
+            control = victim.act(world)
+            delta = float(attacker.delta(world, control))
+            result = world.tick(control, steer_delta=delta)
+            if abs(delta) >= strike_level and first_attack_time is None:
+                first_attack_time = result.time - scenario.dt
 
-        nominal_total += nominal_reward.step(world, plan, result.collision).total
-        adversarial_total += adversarial_reward.step(
-            world, delta, result.collision
-        ).total
-        ego_s, ego_d, _ = world.road.to_frenet(world.ego.state.position)
-        deviation = abs(ego_d - plan.reference_offset(ego_s))
-        deviations.append(deviation / world.road.config.lane_width)
+            nominal_step = nominal_reward.step(
+                world, plan, result.collision
+            ).total
+            adversarial_step = adversarial_reward.step(
+                world, delta, result.collision
+            ).total
+            nominal_total += nominal_step
+            adversarial_total += adversarial_step
+            ego_s, ego_d, _ = world.road.to_frenet(world.ego.state.position)
+            deviation = abs(ego_d - plan.reference_offset(ego_s))
+            deviations.append(deviation / world.road.config.lane_width)
+
+            is_active = abs(delta) >= ACTIVE_THRESHOLD
+            if is_active:
+                active_ticks += 1
+                if not previously_active:
+                    activations += 1
+            previously_active = is_active
+
+            if trace is not None:
+                state = world.ego.state
+                trace.emit(
+                    "tick",
+                    episode=episode_id,
+                    tick=result.step,
+                    t=result.time,
+                    delta=delta,
+                    x=state.x,
+                    y=state.y,
+                    yaw=state.yaw,
+                    speed=state.speed,
+                    reward_nominal=nominal_step,
+                    reward_adversarial=adversarial_step,
+                )
 
     time_to_collision = None
     if result.collision is not None and first_attack_time is not None:
         time_to_collision = result.collision.time - first_attack_time
+
+    registry = get_registry()
+    registry.counter("episodes_total").inc()
+    if activations:
+        registry.counter("attack_activations_total").inc(activations)
+    if active_ticks:
+        registry.counter("attack_active_ticks_total").inc(active_ticks)
+    registry.histogram("episode_steps").observe(result.step)
+    registry.histogram("episode_nominal_return").observe(nominal_total)
+    registry.histogram("episode_adversarial_return").observe(adversarial_total)
+
+    if trace is not None:
+        trace.emit(
+            "episode_end",
+            episode=episode_id,
+            steps=result.step,
+            duration=result.time,
+            collision=(
+                result.collision.kind.name
+                if result.collision is not None
+                else None
+            ),
+            nominal_return=nominal_total,
+            adversarial_return=adversarial_total,
+            passed_npcs=world.passed_npcs,
+        )
+        trace.flush()
 
     return EpisodeResult(
         steps=result.step,

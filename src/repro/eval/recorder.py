@@ -9,11 +9,13 @@ useful for debugging attacks without a display server.
 from __future__ import annotations
 
 import io
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.sim.world import World
+from repro.telemetry.trace import TraceWriter, default_writer
 
 
 @dataclass(frozen=True)
@@ -60,17 +62,32 @@ class Trajectory:
     def __len__(self) -> int:
         return len(self.times)
 
-    def actor(self, name: str) -> np.ndarray:
-        """Positions of ``name`` over time, shape ``(ticks, 2)``."""
-        rows = []
+    def positions(self) -> dict[str, np.ndarray]:
+        """Per-actor position arrays, each shape ``(ticks, 2)``.
+
+        Computed in one pass over the recording and cached until another
+        tick is recorded (the renderer below used to rescan every frame
+        per actor per frame — O(actors x frames^2)).
+        """
+        cached = getattr(self, "_positions_cache", None)
+        if cached is not None and cached[0] == len(self.times):
+            return cached[1]
+        rows: dict[str, list[tuple[float, float]]] = {}
         for frame in self.samples:
             for sample in frame:
-                if sample.name == name:
-                    rows.append((sample.x, sample.y))
-                    break
-        if not rows:
+                rows.setdefault(sample.name, []).append((sample.x, sample.y))
+        positions = {
+            name: np.asarray(values) for name, values in rows.items()
+        }
+        self._positions_cache = (len(self.times), positions)
+        return positions
+
+    def actor(self, name: str) -> np.ndarray:
+        """Positions of ``name`` over time, shape ``(ticks, 2)``."""
+        positions = self.positions()
+        if name not in positions:
             raise KeyError(name)
-        return np.asarray(rows)
+        return positions[name]
 
     def to_csv(self) -> str:
         """The full recording as CSV text."""
@@ -85,6 +102,52 @@ class Trajectory:
                 )
         return buffer.getvalue()
 
+    def to_jsonl(self) -> str:
+        """The recording as JSONL: one object per tick with nested actors."""
+        lines = []
+        for time, frame, delta in zip(self.times, self.samples, self.deltas):
+            lines.append(
+                json.dumps(
+                    {
+                        "t": time,
+                        "delta": delta,
+                        "actors": [
+                            {
+                                "name": s.name,
+                                "x": s.x,
+                                "y": s.y,
+                                "yaw": s.yaw,
+                                "speed": s.speed,
+                            }
+                            for s in frame
+                        ],
+                    },
+                    separators=(",", ":"),
+                )
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trajectory":
+        """Rebuild a trajectory from :meth:`to_jsonl` output."""
+        trajectory = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            trajectory.times.append(float(row["t"]))
+            trajectory.deltas.append(float(row["delta"]))
+            trajectory.samples.append(
+                [
+                    ActorSample(
+                        a["name"], a["x"], a["y"], a["yaw"], a["speed"]
+                    )
+                    for a in row["actors"]
+                ]
+            )
+        return trajectory
+
     def render_ascii(
         self, road_half_width: float = 8.0, width: int = 100
     ) -> str:
@@ -95,10 +158,11 @@ class Trajectory:
         """
         if not self.samples:
             return "(empty trajectory)"
-        ego = self.actor("ego")
-        x_min = min(float(self.actor(s.name)[:, 0].min())
+        positions = self.positions()
+        ego = positions["ego"]
+        x_min = min(float(positions[s.name][:, 0].min())
                     for s in self.samples[0])
-        x_max = max(float(self.actor(s.name)[:, 0].max())
+        x_max = max(float(positions[s.name][:, 0].max())
                     for s in self.samples[0])
         span = max(x_max - x_min, 1e-6)
         rows = 17
@@ -113,7 +177,7 @@ class Trajectory:
                 grid[row][col] = char
 
         for index, frame in enumerate(self.samples[0][1:], start=1):
-            for x, y in self.actor(frame.name):
+            for x, y in positions[frame.name]:
                 put(x, y, str(index % 10))
         for x, y in ego:
             put(x, y, "E")
@@ -127,10 +191,15 @@ def record_episode(
     attacker=None,
     seed: int = 0,
     scenario=None,
+    trace: TraceWriter | None = None,
+    episode_id: int | str | None = None,
 ) -> tuple[Trajectory, World]:
     """Run one episode while recording every tick.
 
     Returns the trajectory and the final world (for collision inspection).
+    ``trace`` (or the ``REPRO_TRACE`` default writer) additionally receives
+    ``episode_start`` / ``tick`` / ``episode_end`` events; tracing is
+    read-only and never changes the recorded trajectory.
     """
     from repro.core.attackers import NullAttacker
     from repro.sim.config import ScenarioConfig
@@ -143,11 +212,50 @@ def record_episode(
     attacker = attacker if attacker is not None else NullAttacker()
     attacker.reset(world)
 
+    trace = trace if trace is not None else default_writer()
+    episode_id = episode_id if episode_id is not None else seed
+    if trace is not None:
+        trace.emit(
+            "episode_start",
+            episode=episode_id,
+            seed=seed,
+            victim=str(getattr(victim, "name", "agent")),
+            attacker=str(getattr(attacker, "name", "none")),
+        )
+
     trajectory = Trajectory()
     trajectory.record(world, 0.0)
+    result = None
     while not world.done:
         control = victim.act(world)
         delta = float(attacker.delta(world, control))
-        world.tick(control, steer_delta=delta)
+        result = world.tick(control, steer_delta=delta)
         trajectory.record(world, delta)
+        if trace is not None:
+            state = world.ego.state
+            trace.emit(
+                "tick",
+                episode=episode_id,
+                tick=result.step,
+                t=result.time,
+                delta=delta,
+                x=state.x,
+                y=state.y,
+                yaw=state.yaw,
+                speed=state.speed,
+            )
+    if trace is not None and result is not None:
+        trace.emit(
+            "episode_end",
+            episode=episode_id,
+            steps=result.step,
+            duration=result.time,
+            collision=(
+                result.collision.kind.name
+                if result.collision is not None
+                else None
+            ),
+            passed_npcs=world.passed_npcs,
+        )
+        trace.flush()
     return trajectory, world

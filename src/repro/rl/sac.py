@@ -16,6 +16,8 @@ from repro.rl.nn.autograd import Tensor, minimum
 from repro.rl.nn.optim import Adam
 from repro.rl.policy import QNetwork, SquashedGaussianPolicy
 from repro.rl.replay import ReplayBuffer
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import span
 
 
 @dataclass
@@ -105,6 +107,15 @@ class Sac:
         self.replay = ReplayBuffer(cfg.buffer_capacity, obs_dim, action_dim)
         self.total_updates = 0
 
+        # Cached telemetry handles; the gauges track the *latest* SAC
+        # instance to update (one learner is live at a time in practice).
+        registry = get_registry()
+        self._gauge_critic = registry.gauge("sac_critic_loss")
+        self._gauge_actor = registry.gauge("sac_actor_loss")
+        self._gauge_alpha = registry.gauge("sac_alpha")
+        self._gauge_replay = registry.gauge("sac_replay_occupancy")
+        self._counter_updates = registry.counter("sac_updates_total")
+
     # -- acting -------------------------------------------------------------------
 
     @property
@@ -134,6 +145,16 @@ class Sac:
 
     def update(self) -> dict[str, float]:
         """One SAC gradient update from a replay minibatch."""
+        with span("sac.update"):
+            stats = self._update()
+        self._gauge_critic.set(stats["critic_loss"])
+        self._gauge_actor.set(stats["actor_loss"])
+        self._gauge_alpha.set(stats["alpha"])
+        self._gauge_replay.set(len(self.replay))
+        self._counter_updates.inc()
+        return stats
+
+    def _update(self) -> dict[str, float]:
         cfg = self.config
         batch = self.replay.sample(cfg.batch_size, self.rng)
         obs = batch["obs"]

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.sensors.base import Sensor
 from repro.sim.world import World
+from repro.telemetry.spans import timed
 
 
 class SemanticClass(enum.IntEnum):
@@ -103,6 +104,7 @@ class BevCamera(Sensor):
         grid_x, grid_y = np.meshgrid(xs, ys, indexing="ij")
         self._local = np.stack([grid_x.ravel(), grid_y.ravel()], axis=1)
 
+    @timed("camera.bev.render")
     def render(self, world: World) -> np.ndarray:
         """The raw class grid, shape ``(rows, cols)`` of ``uint8``."""
         state = world.ego.state
@@ -158,6 +160,7 @@ class PanoramaCamera(Sensor):
             axis=1,
         )
 
+    @timed("camera.panorama.render")
     def render(self, world: World) -> np.ndarray:
         """The class image, shape ``(height, width)`` of ``uint8``."""
         state = world.ego.state

@@ -18,6 +18,7 @@ import numpy as np
 from repro.sensors.base import Sensor
 from repro.sensors.noise import NoiseModel
 from repro.sim.world import World
+from repro.telemetry.spans import timed
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,7 @@ class Imu(Sensor):
         self._accel_lat: deque[float] = deque(maxlen=window)
         self._yaw_rate: deque[float] = deque(maxlen=window)
 
+    @timed("imu.observe")
     def observe(self, world: World) -> np.ndarray:
         for sample in world.ego.imu_trace:
             raw = np.array(

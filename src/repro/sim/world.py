@@ -25,6 +25,8 @@ from repro.sim.config import ScenarioConfig
 from repro.sim.npc import LaneKeepingDriver
 from repro.sim.road import Road
 from repro.sim.vehicle import Control, Vehicle
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import span
 
 
 @dataclass(frozen=True)
@@ -89,32 +91,36 @@ class World:
         """
         if self._done:
             raise RuntimeError("world already done; create a new episode")
-        perturbed = Control(
-            steer=ego_control.steer + steer_delta,
-            thrust=ego_control.thrust,
-        ).clipped()
-        self.ego.apply_control(perturbed)
-        for npc in self.npcs:
-            npc.vehicle.apply_control(npc.driver.control(npc.vehicle))
+        with span("world.tick"):
+            perturbed = Control(
+                steer=ego_control.steer + steer_delta,
+                thrust=ego_control.thrust,
+            ).clipped()
+            self.ego.apply_control(perturbed)
+            for npc in self.npcs:
+                npc.vehicle.apply_control(npc.driver.control(npc.vehicle))
 
-        dt, substeps = self.config.dt, self.config.substeps
-        self.ego.step(dt, substeps)
-        for npc in self.npcs:
-            npc.vehicle.step(dt, substeps)
+            dt, substeps = self.config.dt, self.config.substeps
+            self.ego.step(dt, substeps)
+            for npc in self.npcs:
+                npc.vehicle.step(dt, substeps)
 
-        self.step_count += 1
-        self.time += dt
-        collision = self._detect_collision()
-        if collision is not None:
-            self.collisions.append(collision)
-        self._update_passed()
-        ego_s, _, _ = self.road.to_frenet(self.ego.state.position)
-        out_of_road = ego_s >= self.road.length - self.ego.config.length
-        self._done = (
-            collision is not None
-            or self.step_count >= self.config.max_steps
-            or out_of_road
-        )
+            self.step_count += 1
+            self.time += dt
+            collision = self._detect_collision()
+            if collision is not None:
+                self.collisions.append(collision)
+                get_registry().counter(
+                    "collisions_total", kind=collision.kind.name
+                ).inc()
+            self._update_passed()
+            ego_s, _, _ = self.road.to_frenet(self.ego.state.position)
+            out_of_road = ego_s >= self.road.length - self.ego.config.length
+            self._done = (
+                collision is not None
+                or self.step_count >= self.config.max_steps
+                or out_of_road
+            )
         return TickResult(
             step=self.step_count,
             time=self.time,

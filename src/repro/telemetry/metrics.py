@@ -1,0 +1,183 @@
+"""Process-wide metrics: counters, gauges, and numpy-backed histograms.
+
+A :class:`MetricsRegistry` holds metric families keyed by name; each family
+holds children keyed by their label set, so e.g. collision counts can be
+split by :class:`~repro.sim.collision.CollisionKind`:
+
+    get_registry().counter("collisions_total", kind="SIDE").inc()
+
+``snapshot()`` flattens everything into a plain JSON-serializable dict
+(keys rendered as ``name{k=v,...}``) and ``to_json`` exports it.  All
+operations are O(1) dict lookups plus scalar arithmetic — cheap enough to
+leave permanently enabled — and never touch an RNG.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+
+
+class Counter:
+    """A monotonically increasing scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A scalar that can move both ways (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Exact-value histogram in a growable numpy buffer.
+
+    Stores every observation (float64, doubling growth) so the snapshot
+    can report exact percentiles; intended for per-episode / per-update
+    cadences, not per-physics-substep firehoses.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, initial_capacity: int = 256) -> None:
+        self._data = np.empty(max(int(initial_capacity), 1), dtype=np.float64)
+        self._size = 0
+
+    def observe(self, value: float) -> None:
+        if self._size == len(self._data):
+            grown = np.empty(len(self._data) * 2, dtype=np.float64)
+            grown[: self._size] = self._data
+            self._data = grown
+        self._data[self._size] = value
+        self._size += 1
+
+    @property
+    def count(self) -> int:
+        return self._size
+
+    @property
+    def values(self) -> np.ndarray:
+        """A copy of the recorded observations, in arrival order."""
+        return self._data[: self._size].copy()
+
+    def summary(self) -> dict[str, float]:
+        if self._size == 0:
+            return {"count": 0}
+        data = self._data[: self._size]
+        stats = {
+            "count": int(self._size),
+            "sum": float(data.sum()),
+            "mean": float(data.mean()),
+            "min": float(data.min()),
+            "max": float(data.max()),
+        }
+        for pct, val in zip(_PERCENTILES, np.percentile(data, _PERCENTILES)):
+            stats[f"p{pct:g}"] = float(val)
+        return stats
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, dict[tuple, Counter]] = {}
+        self._gauges: dict[str, dict[tuple, Gauge]] = {}
+        self._histograms: dict[str, dict[tuple, Histogram]] = {}
+
+    def _child(self, table: dict, name: str, labels: dict, factory):
+        family = table.get(name)
+        if family is None:
+            family = table[name] = {}
+        key = _label_key(labels)
+        child = family.get(key)
+        if child is None:
+            child = family[key] = factory()
+        return child
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._child(self._counters, name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._child(self._gauges, name, labels, Gauge)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._child(self._histograms, name, labels, Histogram)
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh report runs)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> dict[str, dict]:
+        """Everything as a flat, JSON-serializable dict."""
+        counters = {
+            _render_key(name, key): child.value
+            for name, family in sorted(self._counters.items())
+            for key, child in sorted(family.items())
+        }
+        gauges = {
+            _render_key(name, key): child.value
+            for name, family in sorted(self._gauges.items())
+            for key, child in sorted(family.items())
+        }
+        histograms = {
+            _render_key(name, key): child.summary()
+            for name, family in sorted(self._histograms.items())
+            for key, child in sorted(family.items())
+        }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
+        """The snapshot as JSON text; also written to ``path`` if given."""
+        text = json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY

@@ -1,0 +1,192 @@
+"""Nested wall-clock span timing for hot paths.
+
+Usage::
+
+    with span("world.tick"):
+        ...
+
+    @timed("camera.render")
+    def render(...): ...
+
+Spans nest: entering ``agent.act`` inside an open ``episode`` span
+aggregates under the path ``episode/agent.act``, so the snapshot doubles
+as a call-tree profile. Aggregation keeps count/total/min/max plus every
+duration in a :class:`~repro.telemetry.metrics.Histogram` for exact
+percentiles.
+
+The tracer is **disabled by default**: ``span()`` then returns a shared
+no-op context manager and ``@timed`` wrappers fall through with a single
+attribute check, so instrumented hot loops stay within noise of the
+uninstrumented code. Set ``REPRO_SPANS`` (truthy) to enable at import, or
+call ``get_tracer().enable()`` programmatically. Timing uses
+``time.perf_counter`` only — no RNG, no simulation state.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+
+from repro.telemetry.metrics import Histogram
+
+#: Cap on retained raw events for the Chrome export (oldest kept).
+MAX_RAW_EVENTS = 500_000
+
+
+class SpanStats:
+    """Aggregate timing of one span path."""
+
+    __slots__ = ("count", "total", "min", "max", "durations")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.durations = Histogram()
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        if duration < self.min:
+            self.min = duration
+        if duration > self.max:
+            self.max = duration
+        self.durations.observe(duration)
+
+    def summary(self) -> dict[str, float]:
+        stats = self.durations.summary()
+        return {
+            "count": self.count,
+            "total_s": round(self.total, 6),
+            "mean_us": round(1e6 * self.total / max(self.count, 1), 3),
+            "min_us": round(1e6 * self.min, 3),
+            "max_us": round(1e6 * self.max, 3),
+            "p50_us": round(1e6 * stats.get("p50", 0.0), 3),
+            "p90_us": round(1e6 * stats.get("p90", 0.0), 3),
+            "p99_us": round(1e6 * stats.get("p99", 0.0), 3),
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while the tracer is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """One active span: pushes its path on enter, aggregates on exit."""
+
+    __slots__ = ("_tracer", "_name", "_path", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = self._tracer._stack()
+        parent = stack[-1] if stack else ""
+        self._path = f"{parent}/{self._name}" if parent else self._name
+        stack.append(self._path)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        duration = time.perf_counter() - self._start
+        tracer = self._tracer
+        tracer._stack().pop()
+        stats = tracer._stats.get(self._path)
+        if stats is None:
+            stats = tracer._stats[self._path] = SpanStats()
+        stats.add(duration)
+        if tracer.record_events and len(tracer.events) < MAX_RAW_EVENTS:
+            tracer.events.append((self._path, self._start, duration))
+        return False
+
+
+class Tracer:
+    """Span aggregator with an enable/disable switch and thread-local nesting."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        #: When true, every finished span is also kept as a raw
+        #: ``(path, start_s, duration_s)`` event for the Chrome export.
+        self.record_events = False
+        self.events: list[tuple[str, float, float]] = []
+        self._stats: dict[str, SpanStats] = {}
+        self._local = threading.local()
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def enable(self, record_events: bool = False) -> None:
+        self.enabled = True
+        if record_events:
+            self.record_events = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def span(self, name: str):
+        """Context manager timing ``name`` (no-op singleton when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name)
+
+    def reset(self) -> None:
+        self._stats.clear()
+        self.events.clear()
+        self._local = threading.local()
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Aggregates per span path, sorted by total time (largest first)."""
+        ordered = sorted(
+            self._stats.items(), key=lambda item: -item[1].total
+        )
+        return {path: stats.summary() for path, stats in ordered}
+
+
+_TRACER = Tracer(
+    enabled=os.environ.get("REPRO_SPANS", "").strip().lower()
+    not in ("", "0", "false", "no", "off")
+)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _TRACER
+
+
+def span(name: str):
+    """``with span("..."):`` against the default tracer."""
+    return _TRACER.span(name)
+
+
+def timed(name: str):
+    """Decorator timing every call under ``name`` (falls through when off)."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _TRACER.enabled:
+                return fn(*args, **kwargs)
+            with _LiveSpan(_TRACER, name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,298 @@
+"""JSONL event traces: per-tick episode records and per-step training records.
+
+A :class:`TraceWriter` appends one JSON object per event either to a file
+or to an in-memory list (``path=None``). The event vocabulary is small and
+schema-checked (:func:`validate_event`), so downstream tooling — and the
+tier-1 smoke test — can rely on field names and types:
+
+* ``episode_start``  — episode id, seed, victim/attacker names.
+* ``tick``           — per-control-step record: tick index, sim time,
+  injected delta, ego pose (x, y, yaw, speed), reward terms.
+* ``episode_end``    — steps, duration, collision kind (or ``null``),
+  returns, NPCs passed.
+* ``train_step``     — per-environment-step training record: loop label,
+  step index, reward, done flag (plus optional loss fields).
+* ``span``           — one finished wall-clock span (Chrome-exportable).
+
+Setting the ``REPRO_TRACE`` environment variable to a path installs a
+process-wide default writer that :func:`default_writer` hands to the
+episode runner and the training loops, so any entry point emits a trace
+without code changes. :func:`to_chrome_trace` converts events (or the
+span tracer's raw events) into the Chrome ``trace_event`` JSON format for
+flame-graph viewing in ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Iterable
+
+_NUMBER = (int, float)
+
+#: required / optional field -> accepted types, per event kind.
+SCHEMAS: dict[str, dict[str, dict[str, tuple]]] = {
+    "episode_start": {
+        "required": {"episode": (int, str), "seed": (int,)},
+        "optional": {"victim": (str,), "attacker": (str,)},
+    },
+    "tick": {
+        "required": {
+            "episode": (int, str),
+            "tick": (int,),
+            "t": _NUMBER,
+            "delta": _NUMBER,
+            "x": _NUMBER,
+            "y": _NUMBER,
+            "yaw": _NUMBER,
+            "speed": _NUMBER,
+        },
+        "optional": {
+            "reward_nominal": _NUMBER,
+            "reward_adversarial": _NUMBER,
+        },
+    },
+    "episode_end": {
+        "required": {
+            "episode": (int, str),
+            "steps": (int,),
+            "duration": _NUMBER,
+        },
+        "optional": {
+            "collision": (str, type(None)),
+            "nominal_return": _NUMBER,
+            "adversarial_return": _NUMBER,
+            "passed_npcs": (int,),
+        },
+    },
+    "train_step": {
+        "required": {"loop": (str,), "step": (int,)},
+        "optional": {
+            "reward": _NUMBER,
+            "done": (bool,),
+            "episode": (int,),
+            "episode_return": _NUMBER,
+            "critic_loss": _NUMBER,
+            "actor_loss": _NUMBER,
+            "alpha": _NUMBER,
+        },
+    },
+    "span": {
+        "required": {"name": (str,), "start_s": _NUMBER, "duration_s": _NUMBER},
+        "optional": {},
+    },
+}
+
+
+def validate_event(event: object) -> list[str]:
+    """Schema errors for one decoded event (empty list = valid).
+
+    Unknown extra fields are allowed (forward compatibility); unknown
+    event kinds, missing required fields, and wrong field types are not.
+    """
+    if not isinstance(event, dict):
+        return [f"event must be an object, got {type(event).__name__}"]
+    kind = event.get("event")
+    if kind not in SCHEMAS:
+        return [f"unknown event kind {kind!r}"]
+    errors = []
+    schema = SCHEMAS[kind]
+    for field, types in schema["required"].items():
+        if field not in event:
+            errors.append(f"{kind}: missing required field {field!r}")
+        elif not isinstance(event[field], types) or (
+            # bool is an int subclass; reject it where a number is expected.
+            isinstance(event[field], bool) and bool not in types
+        ):
+            errors.append(
+                f"{kind}: field {field!r} has type "
+                f"{type(event[field]).__name__}, expected one of "
+                f"{tuple(t.__name__ for t in types)}"
+            )
+    for field, types in schema["optional"].items():
+        if field in event and (
+            not isinstance(event[field], types)
+            or (isinstance(event[field], bool) and bool not in types)
+        ):
+            errors.append(
+                f"{kind}: field {field!r} has type "
+                f"{type(event[field]).__name__}, expected one of "
+                f"{tuple(t.__name__ for t in types)}"
+            )
+    return errors
+
+
+def validate_trace(source: str | Path | Iterable[dict]) -> list[str]:
+    """Validate a JSONL file (path) or an iterable of decoded events."""
+    if isinstance(source, (str, Path)):
+        events: Iterable = read_trace(source)
+    else:
+        events = source
+    errors: list[str] = []
+    for index, event in enumerate(events):
+        for error in validate_event(event):
+            errors.append(f"event {index}: {error}")
+    return errors
+
+
+def _json_default(value):
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+class TraceWriter:
+    """Appends JSONL events to a file, stream, or in-memory list."""
+
+    def __init__(
+        self,
+        path: str | Path | IO[str] | None = None,
+        validate: bool = False,
+    ) -> None:
+        """``path=None`` keeps events in ``self.events`` (tests, tooling);
+        ``validate=True`` schema-checks each event at emit time."""
+        self.validate = validate
+        self.events: list[dict] = []
+        self._own_handle = False
+        self._handle: IO[str] | None = None
+        if path is None:
+            pass
+        elif hasattr(path, "write"):
+            self._handle = path  # caller-owned stream
+        else:
+            target = Path(path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = target.open("a", encoding="utf-8")
+            self._own_handle = True
+        self.count = 0
+
+    def emit(self, event: str, **fields) -> dict:
+        """Write one event; returns the record that was emitted."""
+        record = {"event": event, **fields}
+        if self.validate:
+            errors = validate_event(json.loads(self._dumps(record)))
+            if errors:
+                raise ValueError("; ".join(errors))
+        if self._handle is not None:
+            self._handle.write(self._dumps(record) + "\n")
+        else:
+            self.events.append(record)
+        self.count += 1
+        return record
+
+    @staticmethod
+    def _dumps(record: dict) -> str:
+        return json.dumps(record, separators=(",", ":"), default=_json_default)
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self._own_handle:
+                self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Decode a JSONL trace file into a list of event dicts."""
+    events = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def to_chrome_trace(
+    events: Iterable, path: str | Path | None = None
+) -> dict:
+    """Convert events into Chrome ``trace_event`` JSON (flame graphs).
+
+    Accepts either decoded trace events (``span`` events are rendered as
+    complete ``"ph": "X"`` slices, everything else as instant events) or
+    the raw ``(path, start_s, duration_s)`` tuples collected by
+    :class:`~repro.telemetry.spans.Tracer` with ``record_events`` on.
+    """
+    slices = []
+    for event in events:
+        if isinstance(event, tuple):
+            name, start, duration = event
+            slices.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": round(start * 1e6, 3),
+                    "dur": round(duration * 1e6, 3),
+                    "pid": 0,
+                    "tid": 0,
+                }
+            )
+        elif event.get("event") == "span":
+            slices.append(
+                {
+                    "name": event["name"],
+                    "ph": "X",
+                    "ts": round(event["start_s"] * 1e6, 3),
+                    "dur": round(event["duration_s"] * 1e6, 3),
+                    "pid": 0,
+                    "tid": 0,
+                }
+            )
+        else:
+            slices.append(
+                {
+                    "name": event.get("event", "event"),
+                    "ph": "i",
+                    "ts": round(float(event.get("t", 0.0)) * 1e6, 3),
+                    "pid": 0,
+                    "tid": 0,
+                    "s": "g",
+                    "args": event,
+                }
+            )
+    document = {"traceEvents": slices, "displayTimeUnit": "ms"}
+    if path is not None:
+        Path(path).write_text(
+            json.dumps(document, default=_json_default), encoding="utf-8"
+        )
+    return document
+
+
+_DEFAULT_WRITER: TraceWriter | None = None
+_DEFAULT_CHECKED = False
+
+
+def default_writer() -> TraceWriter | None:
+    """The process-wide writer installed via ``REPRO_TRACE`` (else None).
+
+    The environment variable is read once; call :func:`reset_default_writer`
+    to re-read it (tests).
+    """
+    global _DEFAULT_WRITER, _DEFAULT_CHECKED
+    if not _DEFAULT_CHECKED:
+        _DEFAULT_CHECKED = True
+        target = os.environ.get("REPRO_TRACE")
+        if target:
+            _DEFAULT_WRITER = TraceWriter(target)
+    return _DEFAULT_WRITER
+
+
+def reset_default_writer() -> None:
+    """Close and forget the env-installed writer (re-reads env next call)."""
+    global _DEFAULT_WRITER, _DEFAULT_CHECKED
+    if _DEFAULT_WRITER is not None:
+        _DEFAULT_WRITER.close()
+    _DEFAULT_WRITER = None
+    _DEFAULT_CHECKED = False

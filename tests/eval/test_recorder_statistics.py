@@ -58,6 +58,43 @@ class TestTrajectory:
     def test_empty_render(self):
         assert "empty" in Trajectory().render_ascii()
 
+    def test_positions_single_pass_matches_actor(self, quiet_world):
+        trajectory = Trajectory()
+        for _ in range(5):
+            quiet_world.tick(Control())
+            trajectory.record(quiet_world)
+        positions = trajectory.positions()
+        assert set(positions) == {"ego"} | {
+            npc.vehicle.name for npc in quiet_world.npcs
+        }
+        for name, array in positions.items():
+            assert array.shape == (5, 2)
+            np.testing.assert_array_equal(array, trajectory.actor(name))
+
+    def test_positions_cache_invalidates_on_record(self, quiet_world):
+        trajectory = Trajectory()
+        trajectory.record(quiet_world)
+        first = trajectory.positions()
+        assert trajectory.positions() is first  # cached
+        quiet_world.tick(Control())
+        trajectory.record(quiet_world)
+        assert trajectory.actor("ego").shape == (2, 2)  # recomputed
+
+    def test_jsonl_roundtrip(self, quiet_world):
+        trajectory = Trajectory()
+        for delta in (0.0, 0.25, -0.5):
+            quiet_world.tick(Control())
+            trajectory.record(quiet_world, delta=delta)
+        rebuilt = Trajectory.from_jsonl(trajectory.to_jsonl())
+        assert rebuilt.times == trajectory.times
+        assert rebuilt.deltas == trajectory.deltas
+        assert rebuilt.samples == trajectory.samples
+        assert rebuilt.to_jsonl() == trajectory.to_jsonl()
+
+    def test_jsonl_empty(self):
+        assert Trajectory().to_jsonl() == ""
+        assert len(Trajectory.from_jsonl("")) == 0
+
 
 class TestRecordEpisode:
     def test_records_full_episode(self):

@@ -1,0 +1,72 @@
+"""Telemetry must be a pure observer: instrumented runs are bit-identical."""
+
+import pytest
+
+from repro.agents.modular import ModularAgent
+from repro.core.attackers import OracleAttacker
+from repro.eval.episodes import run_episode
+from repro.eval.recorder import record_episode
+from repro.telemetry.log import configure
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import get_tracer
+from repro.telemetry.trace import TraceWriter
+
+pytestmark = pytest.mark.telemetry
+
+SEED = 11
+
+
+@pytest.fixture()
+def full_telemetry():
+    """Enable every telemetry layer; restore the previous state after."""
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enable(record_events=True)
+    configure(level="debug", force=True)
+    yield TraceWriter()  # in-memory, handed to the runner by the test
+    tracer.record_events = False
+    tracer.reset()
+    if not was_enabled:
+        tracer.disable()
+    configure(force=True)
+
+
+def _victim(world):
+    return ModularAgent(world.road)
+
+
+def test_record_episode_trajectory_bit_identical(full_telemetry):
+    baseline, base_world = record_episode(
+        _victim, attacker=OracleAttacker(budget=1.0), seed=SEED
+    )
+    instrumented, inst_world = record_episode(
+        _victim, attacker=OracleAttacker(budget=1.0), seed=SEED,
+        trace=full_telemetry,
+    )
+    assert instrumented.to_csv() == baseline.to_csv()
+    assert instrumented.to_jsonl() == baseline.to_jsonl()
+    assert (base_world.collisions == inst_world.collisions)
+    # the instrumented run really did emit a trace
+    assert full_telemetry.count >= len(baseline)
+
+
+def test_run_episode_result_identical_under_telemetry(full_telemetry):
+    baseline = run_episode(
+        _victim, attacker=OracleAttacker(budget=1.0), seed=SEED
+    )
+    instrumented = run_episode(
+        _victim, attacker=OracleAttacker(budget=1.0), seed=SEED,
+        trace=full_telemetry,
+    )
+    assert instrumented == baseline  # frozen dataclass: exact float equality
+
+
+def test_metrics_counters_do_not_feed_back():
+    # Polluting the registry beforehand must not change outcomes either.
+    registry = get_registry()
+    registry.counter("episodes_total").inc(1000)
+    first = run_episode(_victim, attacker=OracleAttacker(budget=1.0),
+                        seed=SEED)
+    second = run_episode(_victim, attacker=OracleAttacker(budget=1.0),
+                         seed=SEED)
+    assert first == second

@@ -1,0 +1,73 @@
+"""Structured logger: formatters, levels, suppression cost path."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.telemetry.log import (
+    JsonFormatter,
+    KeyValueFormatter,
+    configure,
+    get_logger,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture()
+def capture():
+    """Re-point the repro handler at a buffer; restore defaults after."""
+    stream = io.StringIO()
+    configure(level="debug", json_lines=False, stream=stream, force=True)
+    yield stream
+    configure(force=True)
+
+
+def test_key_value_lines(capture):
+    log = get_logger("test.kv")
+    log.info("episode.end", steps=180, ret=-12.5, agent="modular")
+    line = capture.getvalue().strip()
+    assert " info " in line
+    assert "repro.test.kv" in line
+    assert "episode.end" in line
+    assert "steps=180" in line and "ret=-12.5" in line and "agent=modular" in line
+
+
+def test_values_with_spaces_are_quoted(capture):
+    get_logger("test.kv").info("evt", msg="two words")
+    assert 'msg="two words"' in capture.getvalue()
+
+
+def test_json_lines_mode():
+    stream = io.StringIO()
+    configure(level="debug", json_lines=True, stream=stream, force=True)
+    try:
+        get_logger("test.json").warning("attack.active", delta=0.4)
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["level"] == "warning"
+        assert payload["logger"] == "repro.test.json"
+        assert payload["event"] == "attack.active"
+        assert payload["delta"] == 0.4
+        assert isinstance(payload["ts"], float)
+    finally:
+        configure(force=True)
+
+
+def test_level_suppression(capture):
+    configure(level="warning", stream=capture, force=True)
+    log = get_logger("test.levels")
+    log.debug("hidden")
+    log.info("hidden")
+    log.warning("shown")
+    lines = capture.getvalue().strip().splitlines()
+    assert len(lines) == 1 and "shown" in lines[0]
+    assert not log.isEnabledFor(logging.INFO)
+
+
+def test_configure_is_idempotent():
+    first = configure(force=True)
+    second = configure()
+    assert first is second
+    assert len(first.handlers) == 1

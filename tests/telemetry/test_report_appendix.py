@@ -1,0 +1,61 @@
+"""The report's telemetry appendix renders spans + counters and dumps JSON."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import telemetry_appendix
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import get_tracer, span
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture()
+def populated_telemetry():
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.reset()
+    tracer.enable()
+    registry = get_registry()
+    registry.counter("appendix_demo_total", kind="SIDE").inc(3)
+    with span("appendix.outer"):
+        with span("inner"):
+            pass
+    yield
+    tracer.reset()
+    if not was_enabled:
+        tracer.disable()
+
+
+def test_appendix_renders_spans_counters_and_metrics_json(
+    populated_telemetry, tmp_path
+):
+    metrics_path = tmp_path / "EXPERIMENTS_metrics.json"
+    lines = telemetry_appendix(metrics_path)
+    text = "\n".join(lines)
+
+    assert lines[0] == "## Timing & counters (telemetry appendix)"
+    assert "`appendix.outer`" in text
+    assert "`appendix.outer/inner`" in text  # nested path reads as call-tree
+    assert "`appendix_demo_total{kind=SIDE}` | 3" in text
+    assert "EXPERIMENTS_metrics.json" in text
+
+    snapshot = json.loads(metrics_path.read_text())
+    assert snapshot["counters"]["appendix_demo_total{kind=SIDE}"] == 3.0
+
+
+def test_appendix_without_spans_still_emits_counters(tmp_path):
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.reset()
+    tracer.disable()
+    get_registry().counter("appendix_plain_total").inc()
+    try:
+        lines = telemetry_appendix(tmp_path / "m.json")
+    finally:
+        if was_enabled:
+            tracer.enable()
+    text = "\n".join(lines)
+    assert "| span |" not in text
+    assert "`appendix_plain_total`" in text

@@ -1,0 +1,89 @@
+"""Span tracer: nesting, aggregation, the @timed decorator, enable/disable."""
+
+import pytest
+
+from repro.telemetry.spans import Tracer, _NULL_SPAN, get_tracer, timed
+
+pytestmark = pytest.mark.telemetry
+
+
+def test_disabled_tracer_returns_shared_null_span():
+    tracer = Tracer(enabled=False)
+    assert tracer.span("x") is tracer.span("y") is _NULL_SPAN
+    with tracer.span("x"):
+        pass
+    assert tracer.snapshot() == {}
+
+
+def test_span_aggregation_counts_and_totals():
+    tracer = Tracer(enabled=True)
+    for _ in range(5):
+        with tracer.span("tick"):
+            pass
+    snapshot = tracer.snapshot()
+    assert snapshot["tick"]["count"] == 5
+    assert snapshot["tick"]["total_s"] >= 0.0
+    assert snapshot["tick"]["p50_us"] <= snapshot["tick"]["p99_us"]
+
+
+def test_nested_spans_aggregate_under_slash_paths():
+    tracer = Tracer(enabled=True)
+    with tracer.span("episode"):
+        with tracer.span("world.tick"):
+            pass
+        with tracer.span("world.tick"):
+            pass
+    snapshot = tracer.snapshot()
+    assert snapshot["episode"]["count"] == 1
+    assert snapshot["episode/world.tick"]["count"] == 2
+    # the stack unwound fully
+    assert tracer._stack() == []
+
+
+def test_stack_unwinds_on_exception():
+    tracer = Tracer(enabled=True)
+    with pytest.raises(RuntimeError):
+        with tracer.span("outer"):
+            raise RuntimeError("boom")
+    assert tracer._stack() == []
+    assert tracer.snapshot()["outer"]["count"] == 1
+
+
+def test_timed_decorator_uses_global_tracer():
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.reset()
+    tracer.enable()
+    try:
+        @timed("math.square")
+        def square(x):
+            return x * x
+
+        assert square(3) == 9
+        assert tracer.snapshot()["math.square"]["count"] == 1
+        tracer.disable()
+        assert square(4) == 16  # falls through, no new record
+        assert tracer.snapshot()["math.square"]["count"] == 1
+    finally:
+        tracer.reset()
+        tracer.enabled = was_enabled
+
+
+def test_record_events_collects_chrome_exportable_tuples():
+    tracer = Tracer(enabled=True)
+    tracer.record_events = True
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    assert [name for name, _, _ in tracer.events] == ["a/b", "a"]
+    for _, start, duration in tracer.events:
+        assert start > 0.0 and duration >= 0.0
+
+
+def test_reset_clears_stats_and_events():
+    tracer = Tracer(enabled=True)
+    tracer.record_events = True
+    with tracer.span("a"):
+        pass
+    tracer.reset()
+    assert tracer.snapshot() == {} and tracer.events == []

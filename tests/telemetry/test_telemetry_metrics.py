@@ -1,0 +1,94 @@
+"""Metrics-registry semantics: counters, gauges, histograms, snapshots."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry, get_registry
+
+pytestmark = pytest.mark.telemetry
+
+
+def test_counter_increments_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("events_total")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+
+
+def test_counter_labels_are_independent_children():
+    registry = MetricsRegistry()
+    registry.counter("collisions_total", kind="SIDE").inc()
+    registry.counter("collisions_total", kind="SIDE").inc()
+    registry.counter("collisions_total", kind="REAR").inc()
+    snapshot = registry.snapshot()["counters"]
+    assert snapshot["collisions_total{kind=SIDE}"] == 2.0
+    assert snapshot["collisions_total{kind=REAR}"] == 1.0
+
+
+def test_gauge_moves_both_ways():
+    gauge = MetricsRegistry().gauge("replay_occupancy")
+    gauge.set(10.0)
+    gauge.inc(5.0)
+    gauge.dec(3.0)
+    assert gauge.value == 12.0
+
+
+def test_histogram_summary_matches_numpy():
+    registry = MetricsRegistry()
+    hist = registry.histogram("episode_steps")
+    values = np.arange(1, 1001, dtype=float)
+    for value in values:
+        hist.observe(value)
+    summary = hist.summary()
+    assert summary["count"] == 1000
+    assert summary["sum"] == pytest.approx(values.sum())
+    assert summary["mean"] == pytest.approx(values.mean())
+    assert summary["min"] == 1.0 and summary["max"] == 1000.0
+    assert summary["p50"] == pytest.approx(np.percentile(values, 50))
+    assert summary["p99"] == pytest.approx(np.percentile(values, 99))
+
+
+def test_histogram_growth_beyond_initial_capacity():
+    hist = MetricsRegistry().histogram("grow")
+    for i in range(1000):  # > initial capacity of 256
+        hist.observe(float(i))
+    assert hist.count == 1000
+    assert list(hist.values[:3]) == [0.0, 1.0, 2.0]
+
+
+def test_empty_histogram_summary():
+    assert MetricsRegistry().histogram("empty").summary() == {"count": 0}
+
+
+def test_snapshot_roundtrips_through_json(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("a").inc(4)
+    registry.gauge("b", role="driver").set(-1.5)
+    registry.histogram("c").observe(2.0)
+    path = tmp_path / "metrics.json"
+    text = registry.to_json(path)
+    assert json.loads(text) == json.loads(path.read_text())
+    decoded = json.loads(text)
+    assert decoded["counters"]["a"] == 4.0
+    assert decoded["gauges"]["b{role=driver}"] == -1.5
+    assert decoded["histograms"]["c"]["count"] == 1
+
+
+def test_reset_clears_everything():
+    registry = MetricsRegistry()
+    registry.counter("a").inc()
+    registry.reset()
+    assert registry.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {}
+    }
+    # get-or-create returns a fresh child after reset
+    assert registry.counter("a").value == 0.0
+
+
+def test_global_registry_is_a_singleton():
+    assert get_registry() is get_registry()

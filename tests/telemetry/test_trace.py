@@ -1,0 +1,149 @@
+"""Trace writer: JSONL round-trip, schema validation, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.telemetry.trace import (
+    TraceWriter,
+    default_writer,
+    read_trace,
+    reset_default_writer,
+    to_chrome_trace,
+    validate_event,
+    validate_trace,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+def _tick(**overrides):
+    event = {
+        "event": "tick", "episode": 0, "tick": 1, "t": 0.1, "delta": 0.0,
+        "x": 1.0, "y": 2.0, "yaw": 0.0, "speed": 12.0,
+    }
+    event.update(overrides)
+    return event
+
+
+def test_writer_creates_missing_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "nested" / "trace.jsonl"
+    with TraceWriter(path) as writer:
+        writer.emit("episode_start", episode=0, seed=1)
+    assert [e["event"] for e in read_trace(path)] == ["episode_start"]
+
+
+def test_jsonl_roundtrip_through_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TraceWriter(path) as writer:
+        writer.emit("episode_start", episode=0, seed=7)
+        writer.emit(
+            "tick", episode=0, tick=1, t=0.1, delta=0.05,
+            x=1.0, y=-2.0, yaw=0.01, speed=15.5,
+        )
+        writer.emit("episode_end", episode=0, steps=1, duration=0.1,
+                    collision=None)
+    events = read_trace(path)
+    assert [e["event"] for e in events] == [
+        "episode_start", "tick", "episode_end",
+    ]
+    assert events[1]["delta"] == 0.05
+    assert validate_trace(path) == []
+
+
+def test_in_memory_writer_keeps_events():
+    writer = TraceWriter()
+    writer.emit("train_step", loop="sac-driver", step=3, reward=-0.5)
+    assert writer.count == 1
+    assert writer.events[0]["step"] == 3
+    assert validate_trace(writer.events) == []
+
+
+def test_numpy_scalars_serialize(tmp_path):
+    import numpy as np
+
+    path = tmp_path / "np.jsonl"
+    with TraceWriter(path) as writer:
+        writer.emit("train_step", loop="sac", step=int(np.int64(1)),
+                    reward=np.float64(0.25))
+    assert read_trace(path)[0]["reward"] == 0.25
+
+
+def test_validate_event_flags_missing_and_mistyped_fields():
+    assert validate_event(_tick()) == []
+    errors = validate_event({"event": "tick", "episode": 0})
+    assert any("missing required field" in e for e in errors)
+    errors = validate_event(_tick(speed="fast"))
+    assert any("'speed'" in e for e in errors)
+    assert validate_event({"event": "warp_drive"}) == [
+        "unknown event kind 'warp_drive'"
+    ]
+    assert validate_event([1, 2]) != []
+
+
+def test_bool_is_not_a_number():
+    # bool subclasses int; the schema must still reject it for numerics.
+    errors = validate_event(_tick(delta=True))
+    assert any("'delta'" in e for e in errors)
+
+
+def test_extra_fields_are_allowed():
+    assert validate_event(_tick(custom="annotation")) == []
+
+
+def test_emit_time_validation():
+    writer = TraceWriter(validate=True)
+    with pytest.raises(ValueError):
+        writer.emit("tick", episode=0)  # missing required fields
+
+
+def test_validate_trace_reports_line_indices(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    with TraceWriter(path) as writer:
+        writer.emit("episode_start", episode=0, seed=1)
+        writer.emit("bogus_kind")
+    errors = validate_trace(path)
+    assert len(errors) == 1 and errors[0].startswith("event 1:")
+
+
+def test_chrome_export_from_span_tuples(tmp_path):
+    out = tmp_path / "chrome.json"
+    document = to_chrome_trace(
+        [("episode/world.tick", 1.0, 0.002), ("episode", 0.9, 0.5)], out
+    )
+    slices = document["traceEvents"]
+    assert slices[0] == {
+        "name": "episode/world.tick", "ph": "X", "ts": 1e6, "dur": 2000.0,
+        "pid": 0, "tid": 0,
+    }
+    assert json.loads(out.read_text())["traceEvents"] == slices
+
+
+def test_chrome_export_from_trace_events():
+    document = to_chrome_trace(
+        [
+            {"event": "span", "name": "sac.update", "start_s": 0.5,
+             "duration_s": 0.001},
+            _tick(),
+        ]
+    )
+    complete, instant = document["traceEvents"]
+    assert complete["ph"] == "X" and complete["name"] == "sac.update"
+    assert instant["ph"] == "i" and instant["name"] == "tick"
+
+
+def test_default_writer_reads_env(tmp_path, monkeypatch):
+    reset_default_writer()
+    try:
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert default_writer() is None
+        reset_default_writer()
+        target = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(target))
+        writer = default_writer()
+        assert writer is not None and writer is default_writer()
+        writer.emit("episode_start", episode=0, seed=0)
+        writer.flush()
+        assert read_trace(target)[0]["event"] == "episode_start"
+    finally:
+        reset_default_writer()
