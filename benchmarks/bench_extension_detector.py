@@ -31,11 +31,14 @@ def test_detector_vs_idealized_switcher(benchmark, artifacts_ready):
                 else lambda b=budget: registry.camera_attacker(b)
             )
 
-            def detector_victim(world):
+            def detector_victim(world, b=budget):
+                # Label trips by context so attack-free trips surface as
+                # detector_false_trips_total in the obsv dashboard.
                 return DetectorSwitchedAgent(
                     EndToEndAgent(registry._e2e_state()[0]),
                     registry.pnn_column(),
                     sigma=0.2,
+                    context="nominal" if b == 0.0 else "attacked",
                 )
 
             detector_results = run_episodes(

@@ -27,9 +27,15 @@ Telemetry artifact — ``BENCH_telemetry.json``
 
     Span paths follow :mod:`repro.telemetry.spans` nesting (e.g.
     ``episode/world.tick``); durations are wall-clock microseconds.
+
+    Set ``REPRO_BENCH_BASELINE=<path to a committed BENCH_telemetry.json>``
+    to diff the fresh snapshot against it on teardown (same thresholds as
+    ``python -m repro.obsv regress``); breaches are printed as warnings but
+    do not fail the bench session.
 """
 
 import json
+import os
 import platform
 import sys
 import time
@@ -94,3 +100,17 @@ def bench_telemetry(request):
     )
     if not was_enabled:
         tracer.disable()
+
+    baseline = os.environ.get("REPRO_BENCH_BASELINE")
+    if baseline:
+        from repro.obsv.regress import compare_snapshots, report
+
+        try:
+            reference = json.loads(Path(baseline).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"\n[bench-regress] baseline {baseline!r} unreadable: {exc}")
+        else:
+            breaches = compare_snapshots(payload, reference)
+            print(f"\n[bench-regress] vs {baseline}:")
+            for line in report(breaches).splitlines():
+                print(f"[bench-regress] {line}")

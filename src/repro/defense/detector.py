@@ -32,6 +32,7 @@ from repro.defense.pnn_defense import SimplexSwitchedAgent
 from repro.rl.pnn import ProgressivePolicy
 from repro.sim.vehicle import Control
 from repro.sim.world import World
+from repro.telemetry.metrics import get_registry
 
 
 @dataclass(frozen=True)
@@ -47,20 +48,45 @@ class DetectorConfig:
 
 
 class ResidualAttackDetector:
-    """Estimates the attack budget from steering-actuation residuals."""
+    """Estimates the attack budget from steering-actuation residuals.
 
-    def __init__(self, config: DetectorConfig | None = None) -> None:
+    Telemetry: every *trip* — the streak of above-floor residuals first
+    reaching ``min_consecutive`` — increments the
+    ``detector_trips_total{context=...}`` counter; a trip in a
+    ``context="nominal"`` episode additionally counts as
+    ``detector_false_trips_total`` (there is no attack to detect). The
+    ``detector_latency_ticks`` gauge records the detection latency of the
+    latest trip: update() calls from the first above-floor residual of the
+    bout to the trip (the residual itself already lags the injection by
+    one control tick).
+    """
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        context: str = "unlabeled",
+    ) -> None:
+        #: Evaluation context stamped on trip counters — set to
+        #: ``"nominal"`` when evaluating attack-free episodes so trips
+        #: there are countable as false positives.
+        self.context = context
         self.config = config or DetectorConfig()
         self._last_command: float | None = None
         self._last_actuation: float | None = None
         self._estimate = 0.0
         self._streak = 0
+        self._ticks = 0
+        self._bout_start: int | None = None
+        self._tripped = False
 
     def reset(self) -> None:
         self._last_command = None
         self._last_actuation = None
         self._estimate = 0.0
         self._streak = 0
+        self._ticks = 0
+        self._bout_start = None
+        self._tripped = False
 
     @property
     def estimate(self) -> float:
@@ -92,14 +118,30 @@ class ResidualAttackDetector:
         """Fold the last tick's residual into the estimate (post-tick)."""
         cfg = self.config
         residual = abs(self.residual(world))
+        self._ticks += 1
         self._estimate *= cfg.decay
         if residual > cfg.noise_floor:
+            if self._streak == 0:
+                self._bout_start = self._ticks
             self._streak += 1
             if self._streak >= cfg.min_consecutive:
+                if not self._tripped:
+                    self._tripped = True
+                    self._record_trip()
                 self._estimate = max(self._estimate, residual)
         else:
             self._streak = 0
+            self._bout_start = None
+            self._tripped = False
         return self._estimate
+
+    def _record_trip(self) -> None:
+        registry = get_registry()
+        registry.counter("detector_trips_total", context=self.context).inc()
+        if self.context == "nominal":
+            registry.counter("detector_false_trips_total").inc()
+        onset = self._bout_start if self._bout_start is not None else self._ticks
+        registry.gauge("detector_latency_ticks").set(self._ticks - onset)
 
 
 class DetectorSwitchedAgent(DrivingAgent):
@@ -116,9 +158,10 @@ class DetectorSwitchedAgent(DrivingAgent):
         hardened_policy: ProgressivePolicy,
         sigma: float = 0.2,
         detector: ResidualAttackDetector | None = None,
+        context: str = "unlabeled",
     ) -> None:
         self.simplex = SimplexSwitchedAgent(original, hardened_policy, sigma)
-        self.detector = detector or ResidualAttackDetector()
+        self.detector = detector or ResidualAttackDetector(context=context)
         self.name = f"pnn-detector(sigma={sigma:.1f})"
 
     @property

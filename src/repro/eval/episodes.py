@@ -108,6 +108,10 @@ def run_episode(
             seed=seed,
             victim=str(getattr(victim, "name", "agent")),
             attacker=str(getattr(attacker, "name", "none")),
+            budget=float(getattr(attacker, "budget", 0.0)),
+            scenario=(
+                "default" if scenario == ScenarioConfig() else "custom"
+            ),
         )
 
     nominal_total = 0.0
@@ -123,6 +127,7 @@ def run_episode(
     active_ticks = 0
     activations = 0
     previously_active = False
+    previous_gap: float | None = None
 
     with span("episode"):
         while not world.done:
@@ -154,8 +159,7 @@ def run_episode(
 
             if trace is not None:
                 state = world.ego.state
-                trace.emit(
-                    "tick",
+                fields = dict(
                     episode=episode_id,
                     tick=result.step,
                     t=result.time,
@@ -166,7 +170,23 @@ def run_episode(
                     speed=state.speed,
                     reward_nominal=nominal_step,
                     reward_adversarial=adversarial_step,
+                    lateral=deviations[-1],
                 )
+                nearest = world.nearest_npc()
+                if nearest is not None:
+                    gap = float(
+                        np.linalg.norm(
+                            nearest.vehicle.state.position
+                            - world.ego.state.position
+                        )
+                    )
+                    fields["npc_gap"] = gap
+                    if previous_gap is not None:
+                        closing = (previous_gap - gap) / scenario.dt
+                        if closing > 1e-6:
+                            fields["ttc"] = gap / closing
+                    previous_gap = gap
+                trace.emit("tick", **fields)
 
     time_to_collision = None
     if result.collision is not None and first_attack_time is not None:
@@ -190,6 +210,11 @@ def run_episode(
             duration=result.time,
             collision=(
                 result.collision.kind.name
+                if result.collision is not None
+                else None
+            ),
+            collision_with=(
+                result.collision.other
                 if result.collision is not None
                 else None
             ),

@@ -32,9 +32,13 @@ class BoxStats:
 
     @classmethod
     def from_values(cls, values) -> "BoxStats":
+        """Summarize a sample; an empty sample yields all-NaN stats
+        (experiment cells can legitimately be empty, e.g. an effort
+        window no episode landed in)."""
         arr = np.asarray(list(values), dtype=float)
         if arr.size == 0:
-            raise ValueError("cannot summarize an empty sample")
+            nan = float("nan")
+            return cls(nan, nan, nan, nan, nan, nan)
         return cls(
             mean=float(arr.mean()),
             median=float(np.median(arr)),
@@ -46,16 +50,20 @@ class BoxStats:
 
 
 def success_rate(results: list[EpisodeResult]) -> float:
-    """Fraction of episodes ending in the desired side collision."""
+    """Fraction of episodes ending in the desired side collision.
+
+    An empty result list reports 0.0 (no episodes, no successes) — the
+    same convention :func:`effort_windows` uses for empty windows.
+    """
     if not results:
-        raise ValueError("no episodes")
+        return 0.0
     return sum(r.attack_successful for r in results) / len(results)
 
 
 def collision_rate(results: list[EpisodeResult]) -> float:
-    """Fraction of episodes ending in any collision."""
+    """Fraction of episodes ending in any collision (0.0 when empty)."""
     if not results:
-        raise ValueError("no episodes")
+        return 0.0
     return sum(r.collision is not None for r in results) / len(results)
 
 
@@ -68,9 +76,13 @@ def adversarial_reward_stats(results: list[EpisodeResult]) -> BoxStats:
 
 
 def mean_deviation_rmse(results: list[EpisodeResult]) -> float:
-    """Average trajectory tracking error (Fig. 7 headline numbers)."""
+    """Average trajectory tracking error (Fig. 7 headline numbers).
+
+    NaN when there are no episodes — unlike a rate, there is no neutral
+    value for an average error, and NaN propagates visibly.
+    """
     if not results:
-        raise ValueError("no episodes")
+        return float("nan")
     return float(np.mean([r.deviation_rmse for r in results]))
 
 

@@ -201,6 +201,7 @@ def record_episode(
     ``episode_start`` / ``tick`` / ``episode_end`` events; tracing is
     read-only and never changes the recorded trajectory.
     """
+    from repro.agents.modular.behavior import BehaviorPlanner
     from repro.core.attackers import NullAttacker
     from repro.sim.config import ScenarioConfig
     from repro.sim.scenario import make_world
@@ -211,6 +212,10 @@ def record_episode(
     victim.reset(world)
     attacker = attacker if attacker is not None else NullAttacker()
     attacker.reset(world)
+    # Pure observer mirroring run_episode's lateral-deviation reference,
+    # so the traced `lateral` field means the same thing in both producers.
+    planner = BehaviorPlanner(world.road)
+    planner.reset(world)
 
     trace = trace if trace is not None else default_writer()
     episode_id = episode_id if episode_id is not None else seed
@@ -221,20 +226,24 @@ def record_episode(
             seed=seed,
             victim=str(getattr(victim, "name", "agent")),
             attacker=str(getattr(attacker, "name", "none")),
+            budget=float(getattr(attacker, "budget", 0.0)),
+            scenario=(
+                "default" if scenario == ScenarioConfig() else "custom"
+            ),
         )
 
     trajectory = Trajectory()
     trajectory.record(world, 0.0)
     result = None
     while not world.done:
+        plan = planner.update(world)
         control = victim.act(world)
         delta = float(attacker.delta(world, control))
         result = world.tick(control, steer_delta=delta)
         trajectory.record(world, delta)
         if trace is not None:
             state = world.ego.state
-            trace.emit(
-                "tick",
+            fields = dict(
                 episode=episode_id,
                 tick=result.step,
                 t=result.time,
@@ -244,6 +253,18 @@ def record_episode(
                 yaw=state.yaw,
                 speed=state.speed,
             )
+            nearest = world.nearest_npc()
+            if nearest is not None:
+                fields["npc_gap"] = float(
+                    np.linalg.norm(
+                        nearest.vehicle.state.position
+                        - world.ego.state.position
+                    )
+                )
+            ego_s, ego_d, _ = world.road.to_frenet(world.ego.state.position)
+            deviation = abs(ego_d - plan.reference_offset(ego_s))
+            fields["lateral"] = deviation / world.road.config.lane_width
+            trace.emit("tick", **fields)
     if trace is not None and result is not None:
         trace.emit(
             "episode_end",
@@ -252,6 +273,11 @@ def record_episode(
             duration=result.time,
             collision=(
                 result.collision.kind.name
+                if result.collision is not None
+                else None
+            ),
+            collision_with=(
+                result.collision.other
                 if result.collision is not None
                 else None
             ),

@@ -1,0 +1,38 @@
+"""Post-mortem analysis of telemetry artifacts (the consumer side).
+
+``repro.telemetry`` produces JSONL episode traces, metrics snapshots, and
+span timings; this package *reads* them:
+
+* :mod:`repro.obsv.forensics` — per-episode post-mortems: lurk/strike
+  phase segmentation, safety-margin timelines, collision geometry.
+* :mod:`repro.obsv.replay` — re-simulates a recorded episode from its
+  seed and diffs the regenerated tick stream against the trace.
+* :mod:`repro.obsv.dashboard` — aggregates traces + metrics + bench
+  telemetry into one markdown/HTML dashboard.
+* :mod:`repro.obsv.regress` — compares ``BENCH_telemetry.json`` files and
+  flags perf/behaviour regressions against a committed baseline.
+
+Entry point: ``python -m repro.obsv {forensics,replay,dashboard,regress}``.
+"""
+
+from repro.obsv.forensics import EpisodeForensics, Phase, analyze, segment_phases
+from repro.obsv.loader import EpisodeTrace, load_episodes, split_episodes
+from repro.obsv.regress import Breach, RegressionThresholds, compare_snapshots
+from repro.obsv.replay import FieldDiff, ReplayError, ReplayReport, replay_episode
+
+__all__ = [
+    "Breach",
+    "EpisodeForensics",
+    "EpisodeTrace",
+    "FieldDiff",
+    "Phase",
+    "RegressionThresholds",
+    "ReplayError",
+    "ReplayReport",
+    "analyze",
+    "compare_snapshots",
+    "load_episodes",
+    "replay_episode",
+    "segment_phases",
+    "split_episodes",
+]

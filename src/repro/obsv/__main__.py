@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m repro.obsv <subcommand>``."""
+
+from repro.obsv.cli import main
+
+raise SystemExit(main())

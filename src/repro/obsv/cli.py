@@ -1,0 +1,178 @@
+"""``python -m repro.obsv`` — forensics / replay / dashboard / regress.
+
+Subcommands:
+
+* ``forensics <trace.jsonl>`` — per-episode post-mortem (markdown, or
+  ``--json``); ``--episode ID`` picks one episode, default analyses all.
+* ``replay <trace.jsonl>`` — re-simulate episodes from their seeds and
+  diff against the recording; exits 1 on any out-of-tolerance field.
+* ``dashboard <dir>`` — aggregate traces + metrics + bench telemetry into
+  markdown (or ``--html``).
+* ``regress <current.json> <baseline.json>`` — compare bench telemetry
+  snapshots; exits 1 on threshold breaches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obsv import forensics as forensics_mod
+from repro.obsv import regress as regress_mod
+from repro.obsv import replay as replay_mod
+from repro.obsv.dashboard import build_dashboard, to_html
+from repro.obsv.loader import load_episodes, select_episode
+from repro.telemetry.log import get_logger
+
+log = get_logger("obsv")
+
+
+def _emit(text: str, out: str | None) -> None:
+    if out:
+        Path(out).write_text(text, encoding="utf-8")
+        log.info("obsv.wrote", path=out, bytes=len(text))
+    else:
+        sys.stdout.write(text)
+
+
+def _episodes_for(args) -> list:
+    episodes = load_episodes(args.trace, strict=args.strict)
+    if args.episode is not None:
+        return [select_episode(episodes, args.episode)]
+    chosen = [e for e in episodes if e.complete]
+    if not chosen:
+        raise SystemExit(f"no complete episodes in {args.trace}")
+    return chosen
+
+
+def _cmd_forensics(args) -> int:
+    episodes = _episodes_for(args)
+    reports = [
+        forensics_mod.analyze(e, strike_fraction=args.strike_fraction)
+        for e in episodes
+    ]
+    if args.json:
+        payload = [r.to_json() for r in reports]
+        _emit(json.dumps(payload, indent=2) + "\n", args.out)
+    else:
+        chunks = [
+            r.to_markdown(ticks=e.ticks)
+            for r, e in zip(reports, episodes)
+        ]
+        _emit("\n".join(chunks), args.out)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    episodes = _episodes_for(args)
+    failures = 0
+    chunks = []
+    for episode in episodes:
+        try:
+            report = replay_mod.replay_episode(
+                episode, tolerance=args.tolerance
+            )
+        except replay_mod.ReplayError as error:
+            failures += 1
+            chunks.append(
+                f"# Replay — episode {episode.episode}\n\nERROR: {error}\n"
+            )
+            continue
+        if not report.ok:
+            failures += 1
+        chunks.append(report.to_markdown())
+    _emit("\n".join(chunks), args.out)
+    return 1 if failures else 0
+
+
+def _cmd_dashboard(args) -> int:
+    markdown = build_dashboard(
+        args.dir, metrics_path=args.metrics, bench_path=args.bench
+    )
+    _emit(to_html(markdown) if args.html else markdown, args.out)
+    return 0
+
+
+def _cmd_regress(args) -> int:
+    thresholds = regress_mod.RegressionThresholds.from_env()
+    if args.max_ratio is not None:
+        thresholds = regress_mod.RegressionThresholds(
+            wall_clock_ratio=args.max_ratio, span_mean_ratio=args.max_ratio
+        )
+    breaches = regress_mod.compare_files(
+        args.current, args.baseline, thresholds
+    )
+    sys.stdout.write(regress_mod.report(breaches))
+    return 1 if breaches else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obsv",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fore = sub.add_parser(
+        "forensics", help="per-episode post-mortem from a JSONL trace"
+    )
+    fore.add_argument("trace", help="JSONL trace file")
+    fore.add_argument("--episode", help="analyse only this episode id")
+    fore.add_argument(
+        "--strike-fraction", type=float, default=0.5,
+        help="strike threshold as a fraction of the attack budget",
+    )
+    fore.add_argument("--json", action="store_true", help="emit JSON")
+    fore.add_argument("--strict", action="store_true",
+                      help="fail on schema-invalid events")
+    fore.add_argument("--out", help="write to this file instead of stdout")
+    fore.set_defaults(fn=_cmd_forensics)
+
+    repl = sub.add_parser(
+        "replay", help="re-simulate recorded episodes and diff the traces"
+    )
+    repl.add_argument("trace", help="JSONL trace file")
+    repl.add_argument("--episode", help="replay only this episode id")
+    repl.add_argument(
+        "--tolerance", type=float, default=None,
+        help="uniform absolute tolerance for every compared field",
+    )
+    repl.add_argument("--strict", action="store_true",
+                      help="fail on schema-invalid events")
+    repl.add_argument("--out", help="write to this file instead of stdout")
+    repl.set_defaults(fn=_cmd_replay)
+
+    dash = sub.add_parser(
+        "dashboard", help="aggregate a run directory into one document"
+    )
+    dash.add_argument("dir", help="directory holding *.jsonl traces")
+    dash.add_argument("--metrics", help="metrics snapshot JSON path")
+    dash.add_argument("--bench", help="BENCH_telemetry.json path")
+    dash.add_argument("--html", action="store_true",
+                      help="emit a self-contained HTML page")
+    dash.add_argument("--out", help="write to this file instead of stdout")
+    dash.set_defaults(fn=_cmd_dashboard)
+
+    regr = sub.add_parser(
+        "regress", help="compare bench telemetry against a baseline"
+    )
+    regr.add_argument("current", help="current BENCH_telemetry.json")
+    regr.add_argument("baseline", help="baseline BENCH_telemetry.json")
+    regr.add_argument(
+        "--max-ratio", type=float, default=None,
+        help="wall-clock / span mean ratio treated as a breach",
+    )
+    regr.set_defaults(fn=_cmd_regress)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,264 @@
+"""Experiment dashboard: one document summarizing a run directory.
+
+Aggregates three artifact families the observability layer produces:
+
+* **episode traces** (``*.jsonl``) — per (victim, attacker, budget) cell:
+  episode counts, side-collision (attack success) and collision rates,
+  mean strike effort, mean returns, and a per-episode return sparkline;
+* **metrics snapshots** (``EXPERIMENTS_metrics.json`` or any registry
+  ``to_json`` output) — process-wide counters including the residual
+  detector's trip/false-trip/latency instrumentation;
+* **bench telemetry** (``BENCH_telemetry.json``) — session wall-clock and
+  the hottest span paths.
+
+Output is markdown; :func:`to_html` wraps it into a dependency-free
+self-contained HTML page.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+
+from repro.core.injection import ACTIVE_THRESHOLD
+from repro.obsv.loader import EpisodeTrace, load_episodes
+from repro.obsv.render import fmt, markdown_table, sparkline
+
+
+def _mean(values: list[float]) -> float | None:
+    return sum(values) / len(values) if values else None
+
+
+def _strike_effort(episode: EpisodeTrace) -> float | None:
+    """Mean |delta| over active ticks (the paper's attack-effort metric)."""
+    active = [d for d in episode.deltas() if d > ACTIVE_THRESHOLD]
+    return _mean(active)
+
+
+def _episode_rows(episodes: list[EpisodeTrace]) -> list[list[str]]:
+    cells: dict[tuple[str, str, str], list[EpisodeTrace]] = {}
+    for episode in episodes:
+        if not episode.complete:
+            continue
+        key = (
+            episode.victim,
+            episode.attacker,
+            fmt(episode.budget, 2) if episode.budget is not None else "-",
+        )
+        cells.setdefault(key, []).append(episode)
+    rows = []
+    for (victim, attacker, budget), bucket in sorted(cells.items()):
+        n = len(bucket)
+        side = sum(e.collision == "SIDE" for e in bucket) / n
+        collided = sum(e.collision is not None for e in bucket) / n
+        efforts = [e for e in (_strike_effort(ep) for ep in bucket)
+                   if e is not None]
+        returns = [
+            float(e.end["nominal_return"])
+            for e in bucket
+            if "nominal_return" in (e.end or {})
+        ]
+        rows.append(
+            [
+                victim,
+                attacker,
+                budget,
+                n,
+                fmt(side, 2),
+                fmt(collided, 2),
+                fmt(_mean(efforts), 2),
+                fmt(_mean(returns), 1),
+                sparkline(returns, width=24) if returns else "",
+            ]
+        )
+    return rows
+
+
+def _load_json(path: str | Path | None) -> dict | None:
+    if path is None:
+        return None
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _detector_section(counters: dict, gauges: dict) -> list[str]:
+    trips = {k: v for k, v in counters.items() if k.startswith("detector_")}
+    latency = {k: v for k, v in gauges.items() if k.startswith("detector_")}
+    if not trips and not latency:
+        return []
+    lines = ["## Residual attack detector", ""]
+    rows = [[f"`{name}`", fmt(value, 0)] for name, value in sorted(trips.items())]
+    rows += [[f"`{name}` (gauge)", fmt(value, 0)]
+             for name, value in sorted(latency.items())]
+    lines.extend(markdown_table(["metric", "value"], rows))
+    lines.append("")
+    return lines
+
+
+def build_dashboard(
+    trace_dir: str | Path,
+    metrics_path: str | Path | None = None,
+    bench_path: str | Path | None = None,
+    max_spans: int = 12,
+) -> str:
+    """Render the markdown dashboard for one run directory.
+
+    ``metrics_path``/``bench_path`` default to ``EXPERIMENTS_metrics.json``
+    and ``BENCH_telemetry.json`` inside (or next to) ``trace_dir``.
+    """
+    trace_dir = Path(trace_dir)
+    if metrics_path is None:
+        metrics_path = trace_dir / "EXPERIMENTS_metrics.json"
+    if bench_path is None:
+        bench_path = trace_dir / "BENCH_telemetry.json"
+
+    lines: list[str] = ["# Experiment dashboard", ""]
+    out = lines.append
+    out(f"Source directory: `{trace_dir}`")
+    out("")
+
+    trace_files = sorted(trace_dir.glob("*.jsonl"))
+    episodes: list[EpisodeTrace] = []
+    for path in trace_files:
+        episodes.extend(load_episodes(path))
+    out("## Episodes")
+    out("")
+    if episodes:
+        complete = [e for e in episodes if e.complete]
+        out(
+            f"{len(complete)} complete episodes across"
+            f" {len(trace_files)} trace file(s)."
+        )
+        out("")
+        lines.extend(
+            markdown_table(
+                ["victim", "attacker", "eps", "n", "success", "collision",
+                 "mean effort", "mean reward", "reward trend"],
+                _episode_rows(episodes),
+            )
+        )
+    else:
+        out(f"No episode traces (`*.jsonl`) found in `{trace_dir}`.")
+    out("")
+
+    metrics = _load_json(metrics_path)
+    if metrics is not None:
+        counters = metrics.get("counters", {})
+        gauges = metrics.get("gauges", {})
+        lines.extend(_detector_section(counters, gauges))
+        if counters:
+            out(f"## Counters (`{Path(metrics_path).name}`)")
+            out("")
+            rows = [[f"`{name}`", fmt(value, 0)]
+                    for name, value in sorted(counters.items())]
+            lines.extend(markdown_table(["counter", "value"], rows))
+            out("")
+
+    bench = _load_json(bench_path)
+    if bench is not None:
+        out(f"## Bench telemetry (`{Path(bench_path).name}`)")
+        out("")
+        out(
+            f"Session wall-clock {fmt(bench.get('wall_clock_s'), 1)} s on"
+            f" python {bench.get('python', '?')} /"
+            f" numpy {bench.get('numpy', '?')}."
+        )
+        out("")
+        spans = bench.get("spans", {})
+        if spans:
+            ranked = sorted(
+                spans.items(),
+                key=lambda item: -float(item[1].get("total_s", 0.0)),
+            )[:max_spans]
+            rows = [
+                [
+                    f"`{name}`",
+                    int(stats.get("count", 0)),
+                    fmt(stats.get("total_s"), 2),
+                    fmt(stats.get("mean_us"), 0),
+                    fmt(stats.get("p99_us"), 0),
+                ]
+                for name, stats in ranked
+            ]
+            lines.extend(
+                markdown_table(
+                    ["span", "calls", "total s", "mean us", "p99 us"], rows
+                )
+            )
+            out("")
+    return "\n".join(lines) + "\n"
+
+
+_HTML_TEMPLATE = """<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>repro experiment dashboard</title>
+<style>
+body {{ font-family: ui-monospace, Menlo, Consolas, monospace;
+       max-width: 72rem; margin: 2rem auto; padding: 0 1rem;
+       color: #1a1a2e; background: #fafaf7; }}
+table {{ border-collapse: collapse; margin: 0.8rem 0; }}
+th, td {{ border: 1px solid #c8c8c0; padding: 0.25rem 0.6rem;
+          text-align: left; font-size: 0.85rem; }}
+th {{ background: #ecece4; }}
+h1, h2 {{ font-weight: 600; }}
+code {{ background: #eeeee6; padding: 0 0.2rem; }}
+</style></head><body>
+{body}
+</body></html>
+"""
+
+
+def to_html(markdown: str) -> str:
+    """Convert the dashboard markdown into a self-contained HTML page.
+
+    Understands exactly the constructs :func:`build_dashboard` emits —
+    ``#``/``##`` headings, pipe tables, inline code, and paragraphs — no
+    external renderer needed.
+    """
+    body: list[str] = []
+    table: list[list[str]] = []
+
+    def _inline(text: str) -> str:
+        text = _html.escape(text)
+        parts = text.split("`")
+        for index in range(1, len(parts), 2):
+            parts[index] = f"<code>{parts[index]}</code>"
+        return "".join(parts)
+
+    def flush_table() -> None:
+        if not table:
+            return
+        body.append("<table>")
+        header, *rest = table
+        body.append(
+            "<tr>" + "".join(f"<th>{_inline(c)}</th>" for c in header) + "</tr>"
+        )
+        for row in rest:
+            body.append(
+                "<tr>" + "".join(f"<td>{_inline(c)}</td>" for c in row) + "</tr>"
+            )
+        body.append("</table>")
+        table.clear()
+
+    for line in markdown.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("|"):
+            cells = [c.strip() for c in stripped.strip("|").split("|")]
+            if all(set(c) <= {"-", ":"} and c for c in cells):
+                continue  # separator row
+            table.append(cells)
+            continue
+        flush_table()
+        if not stripped:
+            continue
+        if stripped.startswith("## "):
+            body.append(f"<h2>{_inline(stripped[3:])}</h2>")
+        elif stripped.startswith("# "):
+            body.append(f"<h1>{_inline(stripped[2:])}</h1>")
+        else:
+            body.append(f"<p>{_inline(stripped)}</p>")
+    flush_table()
+    return _HTML_TEMPLATE.format(body="\n".join(body))

@@ -1,0 +1,134 @@
+"""Load JSONL traces and group their events into episodes.
+
+A trace file may interleave events from many episodes (``run_episodes``
+stamps consecutive seeds as episode ids) plus non-episode events
+(``train_step``, ``span``); :func:`split_episodes` keeps only the episode
+vocabulary and buckets it by episode id, preserving tick order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.telemetry.trace import read_trace, validate_event
+
+
+@dataclass
+class EpisodeTrace:
+    """All events of one recorded episode, in emission order."""
+
+    episode: int | str
+    start: dict | None = None
+    ticks: list[dict] = field(default_factory=list)
+    end: dict | None = None
+
+    @property
+    def seed(self) -> int | None:
+        return None if self.start is None else self.start.get("seed")
+
+    @property
+    def victim(self) -> str:
+        return "" if self.start is None else str(self.start.get("victim", ""))
+
+    @property
+    def attacker(self) -> str:
+        return "" if self.start is None else str(self.start.get("attacker", ""))
+
+    @property
+    def budget(self) -> float | None:
+        if self.start is None or "budget" not in self.start:
+            return None
+        return float(self.start["budget"])
+
+    @property
+    def scenario(self) -> str:
+        # Traces predating the scenario field are assumed replayable.
+        if self.start is None:
+            return "unknown"
+        return str(self.start.get("scenario", "default"))
+
+    @property
+    def collision(self) -> str | None:
+        return None if self.end is None else self.end.get("collision")
+
+    @property
+    def complete(self) -> bool:
+        """Start and end present with at least one tick in between."""
+        return (
+            self.start is not None and self.end is not None and bool(self.ticks)
+        )
+
+    def deltas(self) -> list[float]:
+        """Per-tick injected |delta| magnitudes."""
+        return [abs(float(t["delta"])) for t in self.ticks]
+
+    def series(self, fld: str) -> list[float]:
+        """One tick field over time, skipping ticks where it is absent."""
+        return [float(t[fld]) for t in self.ticks if fld in t]
+
+
+def split_episodes(events: Iterable[dict]) -> list[EpisodeTrace]:
+    """Group decoded trace events into per-episode buckets.
+
+    Episodes are returned in order of first appearance. Events that carry
+    no episode id (``train_step``, ``span``) are dropped. Episode ids may
+    repeat within one file (e.g. several ``run_episodes`` sweeps sharing a
+    seed): a fresh ``episode_start`` for an id that already has one opens a
+    new bucket rather than merging two distinct episodes.
+    """
+    episodes: list[EpisodeTrace] = []
+    open_buckets: dict[object, EpisodeTrace] = {}
+    for event in events:
+        kind = event.get("event")
+        if kind not in ("episode_start", "tick", "episode_end"):
+            continue
+        key = event.get("episode")
+        bucket = open_buckets.get(key)
+        if bucket is None or (kind == "episode_start" and bucket.start is not None):
+            bucket = open_buckets[key] = EpisodeTrace(episode=key)
+            episodes.append(bucket)
+        if kind == "episode_start":
+            bucket.start = event
+        elif kind == "tick":
+            bucket.ticks.append(event)
+        else:
+            bucket.end = event
+    return episodes
+
+
+def load_episodes(
+    path: str | Path, strict: bool = False
+) -> list[EpisodeTrace]:
+    """Read a JSONL trace file into :class:`EpisodeTrace` buckets.
+
+    ``strict=True`` raises on the first schema-invalid event; by default
+    invalid events are skipped so a partially corrupt trace still loads.
+    """
+    events = []
+    for index, event in enumerate(read_trace(path)):
+        errors = validate_event(event)
+        if errors:
+            if strict:
+                raise ValueError(f"event {index}: " + "; ".join(errors))
+            continue
+        events.append(event)
+    return split_episodes(events)
+
+
+def select_episode(
+    episodes: list[EpisodeTrace], episode_id: str | None = None
+) -> EpisodeTrace:
+    """Pick one episode by id (string-compared), or the first complete one."""
+    if episode_id is not None:
+        for episode in episodes:
+            if str(episode.episode) == str(episode_id):
+                return episode
+        raise KeyError(f"episode {episode_id!r} not found in trace")
+    for episode in episodes:
+        if episode.complete:
+            return episode
+    if episodes:
+        return episodes[0]
+    raise ValueError("trace contains no episode events")

@@ -1,0 +1,149 @@
+"""Regression watch over ``BENCH_telemetry.json`` snapshots.
+
+``benchmarks/conftest.py`` writes one machine-readable perf snapshot per
+bench session; committing one as a baseline makes the perf history
+*enforceable*: :func:`compare_snapshots` flags wall-clock blow-ups,
+per-span mean-latency regressions, and correctness drift (collision
+counters appearing where the baseline had none), and the CLI
+(``python -m repro.obsv regress current baseline``) exits nonzero on any
+breach.
+
+Thresholds are ratios, not absolutes — bench machines differ — and spans
+with very few calls are skipped as noise. The default ratio can be set
+via ``REPRO_OBSV_MAX_RATIO``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+
+def _env_ratio(default: float = 1.5) -> float:
+    raw = os.environ.get("REPRO_OBSV_MAX_RATIO")
+    return float(raw) if raw else default
+
+
+@dataclass(frozen=True)
+class RegressionThresholds:
+    """What counts as a breach when comparing two bench snapshots."""
+
+    #: Current/baseline session wall-clock ratio above which we fail.
+    wall_clock_ratio: float = 1.5
+    #: Current/baseline per-span mean-latency ratio above which we fail.
+    span_mean_ratio: float = 1.5
+    #: Spans with fewer calls than this (in either snapshot) are noise.
+    span_min_calls: int = 20
+    #: Fail when a counter matching one of these prefixes grew by more
+    #: than this factor (guards e.g. collision-rate drift, not just perf).
+    counter_prefixes: tuple[str, ...] = ("collisions_total",)
+    counter_ratio: float = 2.0
+
+    @classmethod
+    def from_env(cls) -> "RegressionThresholds":
+        ratio = _env_ratio()
+        return cls(wall_clock_ratio=ratio, span_mean_ratio=ratio)
+
+
+@dataclass(frozen=True)
+class Breach:
+    """One threshold violation."""
+
+    kind: str  # "wall_clock" | "span" | "counter"
+    name: str
+    baseline: float
+    current: float
+    limit: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind} {self.name}: {self.baseline:g} -> {self.current:g}"
+            f" (x{self.current / self.baseline if self.baseline else float('inf'):.2f},"
+            f" limit x{self.limit:g})"
+        )
+
+
+def compare_snapshots(
+    current: dict,
+    baseline: dict,
+    thresholds: RegressionThresholds | None = None,
+) -> list[Breach]:
+    """All threshold breaches of ``current`` against ``baseline``."""
+    thresholds = thresholds or RegressionThresholds.from_env()
+    breaches: list[Breach] = []
+
+    base_wall = float(baseline.get("wall_clock_s", 0.0))
+    cur_wall = float(current.get("wall_clock_s", 0.0))
+    if base_wall > 0.0 and cur_wall > base_wall * thresholds.wall_clock_ratio:
+        breaches.append(
+            Breach(
+                "wall_clock", "wall_clock_s", base_wall, cur_wall,
+                thresholds.wall_clock_ratio,
+            )
+        )
+
+    base_spans = baseline.get("spans", {})
+    for name, cur_stats in current.get("spans", {}).items():
+        base_stats = base_spans.get(name)
+        if base_stats is None:
+            continue
+        if (
+            int(cur_stats.get("count", 0)) < thresholds.span_min_calls
+            or int(base_stats.get("count", 0)) < thresholds.span_min_calls
+        ):
+            continue
+        base_mean = float(base_stats.get("mean_us", 0.0))
+        cur_mean = float(cur_stats.get("mean_us", 0.0))
+        if base_mean > 0.0 and cur_mean > base_mean * thresholds.span_mean_ratio:
+            breaches.append(
+                Breach(
+                    "span", name, base_mean, cur_mean,
+                    thresholds.span_mean_ratio,
+                )
+            )
+
+    base_counters = baseline.get("metrics", {}).get("counters", {})
+    for name, value in current.get("metrics", {}).get("counters", {}).items():
+        if not any(name.startswith(p) for p in thresholds.counter_prefixes):
+            continue
+        base_value = float(base_counters.get(name, 0.0))
+        value = float(value)
+        if base_value == 0.0:
+            # A watched counter appearing from nothing is always a breach.
+            if value > 0.0:
+                breaches.append(
+                    Breach(
+                        "counter", name, base_value, value,
+                        thresholds.counter_ratio,
+                    )
+                )
+        elif value > base_value * thresholds.counter_ratio:
+            breaches.append(
+                Breach(
+                    "counter", name, base_value, value,
+                    thresholds.counter_ratio,
+                )
+            )
+    return breaches
+
+
+def compare_files(
+    current_path: str | Path,
+    baseline_path: str | Path,
+    thresholds: RegressionThresholds | None = None,
+) -> list[Breach]:
+    """:func:`compare_snapshots` over two JSON files."""
+    current = json.loads(Path(current_path).read_text(encoding="utf-8"))
+    baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    return compare_snapshots(current, baseline, thresholds)
+
+
+def report(breaches: list[Breach]) -> str:
+    """Human-readable verdict for the CLI."""
+    if not breaches:
+        return "regress: OK — no threshold breaches\n"
+    lines = [f"regress: {len(breaches)} breach(es)"]
+    lines.extend(f"  BREACH {b}" for b in breaches)
+    return "\n".join(lines) + "\n"

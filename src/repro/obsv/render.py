@@ -1,0 +1,65 @@
+"""Small text-rendering helpers shared by forensics and the dashboard."""
+
+from __future__ import annotations
+
+import math
+
+#: Eight-level block ramp used for sparklines.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Render a numeric series as a fixed-width block-character sparkline.
+
+    The series is resampled to ``width`` buckets (max-pooled so short
+    spikes stay visible) and scaled to the observed min/max. Non-finite
+    values render as spaces.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        pooled = []
+        for bucket in range(width):
+            lo = bucket * len(values) // width
+            hi = max((bucket + 1) * len(values) // width, lo + 1)
+            chunk = [v for v in values[lo:hi] if math.isfinite(v)]
+            pooled.append(max(chunk) if chunk else float("nan"))
+        values = pooled
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return " " * len(values)
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for v in values:
+        if not math.isfinite(v):
+            chars.append(" ")
+        elif span <= 0.0:
+            chars.append(_BLOCKS[0])
+        else:
+            level = int((v - low) / span * (len(_BLOCKS) - 1))
+            chars.append(_BLOCKS[level])
+    return "".join(chars)
+
+
+def markdown_table(columns: list[str], rows: list[list[object]]) -> list[str]:
+    """A GitHub-flavoured markdown table as a list of lines."""
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "|" + "---|" * len(columns),
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return lines
+
+
+def fmt(value, digits: int = 3) -> str:
+    """Compact numeric formatting tolerant of None/NaN."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return "nan"
+        return f"{value:.{digits}f}"
+    return str(value)

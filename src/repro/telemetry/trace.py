@@ -35,7 +35,16 @@ _NUMBER = (int, float)
 SCHEMAS: dict[str, dict[str, dict[str, tuple]]] = {
     "episode_start": {
         "required": {"episode": (int, str), "seed": (int,)},
-        "optional": {"victim": (str,), "attacker": (str,)},
+        "optional": {
+            "victim": (str,),
+            "attacker": (str,),
+            #: Attack budget epsilon the attacker operates under.
+            "budget": _NUMBER,
+            #: Scenario fingerprint: "default" for the paper's scenario,
+            #: "custom" otherwise (custom scenarios are not replayable
+            #: from the trace alone).
+            "scenario": (str,),
+        },
     },
     "tick": {
         "required": {
@@ -51,6 +60,14 @@ SCHEMAS: dict[str, dict[str, dict[str, tuple]]] = {
         "optional": {
             "reward_nominal": _NUMBER,
             "reward_adversarial": _NUMBER,
+            #: Center-to-center distance to the nearest NPC, meters.
+            "npc_gap": _NUMBER,
+            #: Estimated time-to-collision against the nearest NPC from
+            #: the gap closing rate, seconds (omitted when not closing).
+            "ttc": _NUMBER,
+            #: Lateral deviation from the reference path, normalized by
+            #: the lane width.
+            "lateral": _NUMBER,
         },
     },
     "episode_end": {
@@ -61,6 +78,8 @@ SCHEMAS: dict[str, dict[str, dict[str, tuple]]] = {
         },
         "optional": {
             "collision": (str, type(None)),
+            #: Name of the actor the ego collided with ("barrier", "npc_3").
+            "collision_with": (str, type(None)),
             "nominal_return": _NUMBER,
             "adversarial_return": _NUMBER,
             "passed_npcs": (int,),

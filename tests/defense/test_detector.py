@@ -12,6 +12,7 @@ from repro.defense import (
 from repro.rl.pnn import ProgressivePolicy
 from repro.rl.policy import SquashedGaussianPolicy
 from repro.sim import Control, make_world
+from repro.telemetry.metrics import get_registry
 
 
 def make_agents():
@@ -116,6 +117,60 @@ class TestBudgetEstimate:
         detector._estimate = 0.7
         detector.reset()
         assert detector.estimate == 0.0
+
+
+class TestDetectorTelemetry:
+    def drive(self, detector, deltas):
+        world = make_world(rng=None)
+        for delta in deltas:
+            detector.update(world)
+            control = Control(steer=0.0, thrust=0.0)
+            detector.observe_command(world, control)
+            world.tick(control, steer_delta=delta)
+        detector.update(world)
+
+    def test_sustained_attack_counts_one_trip(self):
+        registry = get_registry()
+        before = registry.counter(
+            "detector_trips_total", context="attacked"
+        ).value
+        detector = ResidualAttackDetector(
+            DetectorConfig(min_consecutive=2), context="attacked"
+        )
+        self.drive(detector, [0.0, 0.0, 0.5, 0.5, 0.5, 0.5])
+        after = registry.counter(
+            "detector_trips_total", context="attacked"
+        ).value
+        assert after == before + 1
+
+    def test_nominal_trip_counts_as_false_trip(self):
+        registry = get_registry()
+        before = registry.counter("detector_false_trips_total").value
+        detector = ResidualAttackDetector(
+            DetectorConfig(min_consecutive=1), context="nominal"
+        )
+        self.drive(detector, [0.0, 0.4, 0.4])
+        assert registry.counter("detector_false_trips_total").value == before + 1
+
+    def test_quiet_run_never_trips(self):
+        registry = get_registry()
+        before = registry.counter(
+            "detector_trips_total", context="quiet-test"
+        ).value
+        detector = ResidualAttackDetector(context="quiet-test")
+        self.drive(detector, [0.0] * 8)
+        assert registry.counter(
+            "detector_trips_total", context="quiet-test"
+        ).value == before
+
+    def test_latency_gauge_measures_onset_to_trip(self):
+        registry = get_registry()
+        detector = ResidualAttackDetector(
+            DetectorConfig(min_consecutive=3), context="latency-test"
+        )
+        self.drive(detector, [0.0, 0.0, 0.5, 0.5, 0.5, 0.5])
+        # Trip happens on the third above-floor residual of the bout.
+        assert registry.gauge("detector_latency_ticks").value == 2.0
 
 
 class TestDetectorSwitchedAgent:

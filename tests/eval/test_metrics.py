@@ -63,9 +63,11 @@ class TestBoxStats:
         assert stats.q1 == 2.0
         assert stats.q3 == 4.0
 
-    def test_empty_raises(self):
-        with pytest.raises(ValueError):
-            BoxStats.from_values([])
+    def test_empty_yields_nan_stats(self):
+        stats = BoxStats.from_values([])
+        for value in (stats.mean, stats.median, stats.q1, stats.q3,
+                      stats.minimum, stats.maximum):
+            assert np.isnan(value)
 
     @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30))
     @settings(max_examples=30)
@@ -85,11 +87,9 @@ class TestRates:
         results = [make_result(side=True), make_result(collided=True), make_result()]
         assert collision_rate(results) == pytest.approx(2.0 / 3.0)
 
-    def test_empty_raises(self):
-        with pytest.raises(ValueError):
-            success_rate([])
-        with pytest.raises(ValueError):
-            collision_rate([])
+    def test_empty_is_zero(self):
+        assert success_rate([]) == 0.0
+        assert collision_rate([]) == 0.0
 
 
 class TestRewardAggregates:
@@ -111,6 +111,9 @@ class TestRewardAggregates:
     def test_mean_deviation(self):
         results = [make_result(deviation=0.02), make_result(deviation=0.04)]
         assert mean_deviation_rmse(results) == pytest.approx(0.03)
+
+    def test_mean_deviation_empty_is_nan(self):
+        assert np.isnan(mean_deviation_rmse([]))
 
 
 class TestTimeToCollision:
@@ -166,3 +169,63 @@ class TestEffortWindows:
             (label, n) for label, _, n in effort_windows(results)
         )
         assert rows["0.8+"] == 1
+
+    def test_empty_results_give_all_zero_windows(self):
+        rows = effort_windows([])
+        assert len(rows) == 5
+        assert all(rate == 0.0 and n == 0 for _, rate, n in rows)
+
+    def test_custom_window_and_upper(self):
+        results = [
+            make_result(effort=0.3, side=True),
+            make_result(effort=0.6),
+        ]
+        rows = effort_windows(results, window=0.5, upper=0.5)
+        assert [label for label, _, _ in rows] == ["[0.0,0.5)", "0.5+"]
+        assert rows[0][1:] == (1.0, 1)
+        assert rows[1][1:] == (0.0, 1)
+
+    def test_boundary_effort_lands_in_upper_window(self):
+        # Exactly on a window edge: half-open intervals put it above.
+        rows = dict(
+            (label, n) for label, _, n in
+            effort_windows([make_result(effort=0.4)])
+        )
+        assert rows["[0.4,0.6)"] == 1
+        assert rows["[0.2,0.4)"] == 0
+
+    def test_window_rates_weighted_by_membership_not_order(self):
+        results = [
+            make_result(effort=0.45, side=True),
+            make_result(effort=0.55),
+            make_result(effort=0.50, side=True),
+        ]
+        rows = dict(
+            (label, (rate, n)) for label, rate, n in effort_windows(results)
+        )
+        assert rows["[0.4,0.6)"] == (pytest.approx(2.0 / 3.0), 3)
+
+
+class TestTimeToCollisionDirect:
+    """Direct coverage of time_to_collision_stats edge cases."""
+
+    def test_missing_ttc_on_success_is_skipped(self):
+        # A successful attack whose ttc was never dated (no strike seen)
+        # must not poison the aggregate.
+        results = [
+            make_result(side=True, ttc=None),
+            make_result(side=True, ttc=0.5),
+        ]
+        stats = time_to_collision_stats(results)
+        assert stats.count == 1
+        assert stats.mean == pytest.approx(0.5)
+
+    def test_empty_results_give_none(self):
+        assert time_to_collision_stats([]) is None
+
+    def test_minimum_not_greater_than_mean(self):
+        stats = time_to_collision_stats(
+            [make_result(side=True, ttc=t) for t in (0.4, 0.9, 1.6)]
+        )
+        assert stats.minimum <= stats.mean
+        assert stats.count == 3
