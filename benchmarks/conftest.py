@@ -28,10 +28,11 @@ Telemetry artifact — ``BENCH_telemetry.json``
     Span paths follow :mod:`repro.telemetry.spans` nesting (e.g.
     ``episode/world.tick``); durations are wall-clock microseconds.
 
-    Set ``REPRO_BENCH_BASELINE=<path to a committed BENCH_telemetry.json>``
-    to diff the fresh snapshot against it on teardown (same thresholds as
-    ``python -m repro.obsv regress``); breaches are printed as warnings but
-    do not fail the bench session.
+    On teardown the fresh snapshot is diffed against a baseline (same
+    thresholds as ``python -m repro.obsv regress``); breaches are printed
+    as warnings but do not fail the bench session. The baseline is
+    ``REPRO_BENCH_BASELINE`` when set (empty string disables the diff),
+    else the committed ``benchmarks/BASELINE_telemetry.json``.
 """
 
 import json
@@ -102,6 +103,10 @@ def bench_telemetry(request):
         tracer.disable()
 
     baseline = os.environ.get("REPRO_BENCH_BASELINE")
+    if baseline is None:
+        committed = Path(__file__).with_name("BASELINE_telemetry.json")
+        if committed.exists():
+            baseline = str(committed)
     if baseline:
         from repro.obsv.regress import compare_snapshots, report
 

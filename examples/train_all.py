@@ -12,10 +12,13 @@ Pipeline (Section numbers refer to the paper):
 5. Adversarially fine-tuned drivers, rho = 1/11 and 1/2 (Sec. VI-A).
 6. PNN second column (Sec. VI-B).
 
-Run:  python examples/train_all.py [--fast] [--sac]
-  --fast  tiny budgets (smoke test, ~1 minute)
-  --sac   enable the SAC refinement stages (slower; selection keeps the
-          better checkpoint either way)
+Run:  python examples/train_all.py [--fast] [--sac] [--health N]
+  --fast    tiny budgets (smoke test, ~1 minute)
+  --sac     enable the SAC refinement stages (slower; selection keeps the
+            better checkpoint either way)
+  --health  emit an ``update_health`` trace record every N SAC updates so
+            ``python -m repro.obsv watch $REPRO_TRACE`` can monitor the
+            run live (needs REPRO_TRACE pointing at a JSONL file)
 """
 
 from __future__ import annotations
@@ -45,6 +48,11 @@ def main() -> None:
     parser.add_argument(
         "--out", default=None, help="output directory (default: ./artifacts)"
     )
+    parser.add_argument(
+        "--health", type=int, default=0, metavar="N",
+        help="emit update_health trace records every N SAC updates"
+             " (watch-compatible; 0 = off)",
+    )
     args = parser.parse_args()
 
     out = Path(args.out) if args.out else registry.artifacts_dir()
@@ -60,6 +68,7 @@ def main() -> None:
         bc_episodes=10 if args.fast else 40,
         sac_steps=(500 if args.fast else 8_000) if args.sac else 0,
     )
+    driver_cfg.sac.health_every = args.health
     driver, driver_metrics = train_driver(driver_cfg, progress=True)
     driver.save(out / registry.E2E_DRIVER, {"metrics": driver_metrics})
     stamp(f"driver: {driver_metrics}")
@@ -77,6 +86,7 @@ def main() -> None:
         sac_steps=(500 if args.fast else 6_000) if args.sac else 0,
         eval_episodes=3 if args.fast else 8,
     )
+    attack_cfg.sac.health_every = args.health
     camera, camera_metrics = train_camera_attacker(
         e2e_victim, attack_cfg, progress=True
     )

@@ -26,6 +26,7 @@ from repro.agents.e2e.env import DrivingEnv, SteerInjector
 from repro.agents.e2e.observation import DrivingObservation
 from repro.agents.modular.agent import ModularAgent
 from repro.rl.bc import BcConfig, BehaviorCloner
+from repro.rl.health import HealthEmitter
 from repro.rl.policy import SquashedGaussianPolicy
 from repro.rl.sac import Sac, SacConfig
 from repro.sim.config import ScenarioConfig
@@ -177,6 +178,7 @@ def refine_driver_sac(
     injector: SteerInjector | None = None,
     progress: bool = False,
     trace: TraceWriter | None = None,
+    loop_label: str = "sac-driver",
 ) -> tuple[SquashedGaussianPolicy, dict[str, float]]:
     """SAC refinement of a warm-started policy on the shaped reward.
 
@@ -184,13 +186,16 @@ def refine_driver_sac(
     decides whether to keep it. The ``injector`` hook makes this the same
     primitive adversarial fine-tuning (Section VI-A) builds on.
     ``trace`` (or the ``REPRO_TRACE`` default writer) receives one
-    ``train_step`` event per environment step.
+    ``train_step`` event per environment step, plus ``update_health``
+    records when ``config.sac.health_every`` (or ``REPRO_HEALTH_EVERY``)
+    is set.
     """
     trace = trace if trace is not None else default_writer()
     env = DrivingEnv(rng=rng, injector=injector)
     sac = Sac(
         env.observation_dim, env.action_dim, config.sac, rng=rng, actor=policy
     )
+    health = HealthEmitter(trace, loop_label, every=config.sac.health_every)
     obs = env.reset()
     episode_return = 0.0
     with span("train.driver_sac"):
@@ -205,13 +210,13 @@ def refine_driver_sac(
             obs = next_obs
             if trace is not None:
                 trace.emit(
-                    "train_step", loop="sac-driver", step=step,
+                    "train_step", loop=loop_label, step=step,
                     reward=float(reward), done=bool(done),
                 )
             if done:
                 if env._episode % 10 == 0:
                     (log.info if progress else log.debug)(
-                        "sac.episode", loop="sac-driver", step=step,
+                        "sac.episode", loop=loop_label, step=step,
                         episode=env._episode,
                         episode_return=episode_return,
                     )
@@ -220,13 +225,14 @@ def refine_driver_sac(
             if step % config.sac.update_every == 0 and len(sac.replay) >= (
                 config.sac.batch_size
             ):
-                sac.update()
+                stats = sac.update()
+                health.after_update(sac, step, stats)
     if trace is not None:
         trace.flush()
 
     agent = EndToEndAgent(policy, observation=DrivingObservation())
     metrics = evaluate_driver(agent, config.eval_episodes, seed=10_000)
     (log.info if progress else log.debug)(
-        "sac.eval", loop="sac-driver", **metrics
+        "sac.eval", loop=loop_label, **metrics
     )
     return policy, metrics

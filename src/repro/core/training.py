@@ -28,6 +28,7 @@ from repro.core.observations import CameraAttackObservation, ImuAttackObservatio
 from repro.eval.episodes import run_episodes
 from repro.eval.metrics import success_rate
 from repro.rl.bc import BcConfig, BehaviorCloner
+from repro.rl.health import HealthEmitter
 from repro.rl.policy import SquashedGaussianPolicy
 from repro.rl.sac import Sac, SacConfig
 from repro.sim.config import ScenarioConfig
@@ -191,6 +192,7 @@ def _sac_refine(
     trace = trace if trace is not None else default_writer()
     sac = Sac(env.observation_dim, env.action_dim, config.sac, rng=rng,
               actor=policy)
+    health = HealthEmitter(trace, loop_label, every=config.sac.health_every)
     obs = env.reset()
     episode_return, episode = 0.0, 0
     with span("train.sac_refine"):
@@ -218,7 +220,8 @@ def _sac_refine(
             if step % config.sac.update_every == 0 and len(sac.replay) >= (
                 config.sac.batch_size
             ):
-                sac.update()
+                stats = sac.update()
+                health.after_update(sac, step, stats)
     if trace is not None:
         trace.flush()
 

@@ -167,7 +167,8 @@ def adversarial_finetune_sac(
     )
     policy.load_state_dict(base.policy.state_dict())
     refined, _metrics = refine_driver_sac(
-        policy, sac_config, rng, injector=randomized, progress=progress
+        policy, sac_config, rng, injector=randomized, progress=progress,
+        loop_label="sac-finetune",
     )
     agent = EndToEndAgent(refined, observation=DrivingObservation())
     agent.name = f"adv-finetuned-sac(rho={config.rho:.2f})"

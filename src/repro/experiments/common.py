@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
+
+from repro.telemetry.log import get_logger
+
+log = get_logger("experiments")
 
 
 @dataclass
@@ -36,7 +41,9 @@ class Table:
         return "\n".join(lines)
 
     def show(self) -> None:
-        print(self.render(), flush=True)
+        log.info("experiment.table", title=self.title, rows=len(self.rows))
+        sys.stdout.write(self.render() + "\n")
+        sys.stdout.flush()
 
 
 def fmt(value: float, digits: int = 2) -> str:

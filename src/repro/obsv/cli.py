@@ -1,4 +1,4 @@
-"""``python -m repro.obsv`` — forensics / replay / dashboard / regress.
+"""``python -m repro.obsv`` — analysis and live monitoring of telemetry.
 
 Subcommands:
 
@@ -6,10 +6,16 @@ Subcommands:
   ``--json``); ``--episode ID`` picks one episode, default analyses all.
 * ``replay <trace.jsonl>`` — re-simulate episodes from their seeds and
   diff against the recording; exits 1 on any out-of-tolerance field.
-* ``dashboard <dir>`` — aggregate traces + metrics + bench telemetry into
-  markdown (or ``--html``).
-* ``regress <current.json> <baseline.json>`` — compare bench telemetry
-  snapshots; exits 1 on threshold breaches.
+* ``dashboard <dir|store.sqlite>`` — aggregate traces + metrics + bench
+  telemetry into markdown (or ``--html``); accepts either a run
+  directory of JSONL traces or an ingested telemetry store.
+* ``regress <current> <baseline>`` — compare bench telemetry snapshots
+  (JSON files or stores holding one); exits 1 on threshold breaches.
+* ``ingest <dir>`` — load a run directory's traces and snapshots into a
+  SQLite telemetry store (default ``<dir>/obsv.sqlite``).
+* ``query <store>`` — filter/aggregate stored events, export CSV.
+* ``watch <trace.jsonl>`` — tail a growing training trace, render a live
+  terminal view, and fire watchdog alerts (``--exit-on-alert`` for CI).
 """
 
 from __future__ import annotations
@@ -22,12 +28,23 @@ from pathlib import Path
 from repro.obsv import forensics as forensics_mod
 from repro.obsv import regress as regress_mod
 from repro.obsv import replay as replay_mod
-from repro.obsv.dashboard import build_dashboard, to_html
+from repro.obsv.alerts import WatchConfig
+from repro.obsv.dashboard import (
+    build_dashboard,
+    build_dashboard_from_store,
+    to_html,
+)
 from repro.obsv.loader import load_episodes, select_episode
+from repro.obsv.store import (
+    DEFAULT_STORE_NAME,
+    TelemetryStore,
+    export_csv,
+    is_store_path,
+)
+from repro.obsv.watch import watch_trace
 from repro.telemetry.log import get_logger
 
 log = get_logger("obsv")
-
 
 def _emit(text: str, out: str | None) -> None:
     if out:
@@ -88,11 +105,29 @@ def _cmd_replay(args) -> int:
 
 
 def _cmd_dashboard(args) -> int:
-    markdown = build_dashboard(
-        args.dir, metrics_path=args.metrics, bench_path=args.bench
-    )
+    target = Path(args.dir)
+    if target.is_file() and is_store_path(target):
+        markdown = build_dashboard_from_store(target)
+    else:
+        markdown = build_dashboard(
+            args.dir, metrics_path=args.metrics, bench_path=args.bench
+        )
     _emit(to_html(markdown) if args.html else markdown, args.out)
     return 0
+
+
+def _load_bench_snapshot(path: str) -> dict:
+    """A bench snapshot from a JSON file or an ingested telemetry store."""
+    target = Path(path)
+    if target.is_file() and is_store_path(target):
+        with TelemetryStore(target) as store:
+            snapshot = store.snapshot("BENCH_telemetry.json")
+        if snapshot is None:
+            raise SystemExit(
+                f"store {path} holds no BENCH_telemetry.json snapshot"
+            )
+        return snapshot
+    return json.loads(target.read_text(encoding="utf-8"))
 
 
 def _cmd_regress(args) -> int:
@@ -101,11 +136,87 @@ def _cmd_regress(args) -> int:
         thresholds = regress_mod.RegressionThresholds(
             wall_clock_ratio=args.max_ratio, span_mean_ratio=args.max_ratio
         )
-    breaches = regress_mod.compare_files(
-        args.current, args.baseline, thresholds
+    breaches = regress_mod.compare_snapshots(
+        _load_bench_snapshot(args.current),
+        _load_bench_snapshot(args.baseline),
+        thresholds,
     )
     sys.stdout.write(regress_mod.report(breaches))
     return 1 if breaches else 0
+
+
+def _cmd_ingest(args) -> int:
+    directory = Path(args.dir)
+    store_path = Path(args.store) if args.store else directory / (
+        DEFAULT_STORE_NAME
+    )
+    with TelemetryStore(store_path) as store:
+        summary = store.ingest_dir(directory, pattern=args.pattern)
+    log.info("obsv.ingested", store=str(store_path), **summary)
+    sys.stdout.write(
+        f"ingested {summary['traces']} trace(s) / {summary['events']}"
+        f" event(s) / {summary['snapshots']} snapshot(s) into"
+        f" {store_path}\n"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    with TelemetryStore(args.store) as store:
+        filters = dict(
+            kind=args.kind, episode=args.episode, loop=args.loop,
+            run=args.run,
+        )
+        if args.field and args.agg:
+            rows = store.aggregate(
+                args.field, agg=args.agg, group_by=args.group_by, **filters
+            )
+            if args.group_by:
+                header = [args.group_by, f"{args.agg}({args.field})"]
+            else:
+                header = [f"{args.agg}({args.field})"]
+            text = export_csv(header, rows, args.csv)
+            if args.csv is None:
+                sys.stdout.write(text)
+            return 0
+        if args.field:
+            values = store.series(args.field, **filters)
+            if args.limit is not None:
+                values = values[: args.limit]
+            text = export_csv([args.field], ([v] for v in values), args.csv)
+            if args.csv is None:
+                sys.stdout.write(text)
+            return 0
+        events = store.events(limit=args.limit, **filters)
+        lines = "".join(
+            json.dumps(event, separators=(",", ":")) + "\n"
+            for event in events
+        )
+        if args.csv is not None:
+            raise SystemExit("--csv needs --field (raw events stay JSONL)")
+        sys.stdout.write(lines)
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    config = WatchConfig.from_env(
+        q_limit=args.q_limit,
+        entropy_floor=args.entropy_floor,
+        plateau_window=args.plateau_window,
+        starvation_updates=args.starvation_updates,
+        throughput_ratio=args.throughput_ratio,
+    )
+    return watch_trace(
+        args.trace,
+        config=config,
+        poll=args.poll,
+        once=args.once,
+        exit_on_alert=args.exit_on_alert,
+        total_steps=args.total_steps,
+        write_alerts=not args.no_write_alerts,
+        idle_exit=args.idle_exit,
+        on_alert=args.on_alert,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -148,7 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
     dash = sub.add_parser(
         "dashboard", help="aggregate a run directory into one document"
     )
-    dash.add_argument("dir", help="directory holding *.jsonl traces")
+    dash.add_argument(
+        "dir", help="directory holding *.jsonl traces, or a telemetry store"
+    )
     dash.add_argument("--metrics", help="metrics snapshot JSON path")
     dash.add_argument("--bench", help="BENCH_telemetry.json path")
     dash.add_argument("--html", action="store_true",
@@ -159,13 +272,100 @@ def build_parser() -> argparse.ArgumentParser:
     regr = sub.add_parser(
         "regress", help="compare bench telemetry against a baseline"
     )
-    regr.add_argument("current", help="current BENCH_telemetry.json")
-    regr.add_argument("baseline", help="baseline BENCH_telemetry.json")
+    regr.add_argument(
+        "current", help="current BENCH_telemetry.json (or telemetry store)"
+    )
+    regr.add_argument(
+        "baseline", help="baseline BENCH_telemetry.json (or telemetry store)"
+    )
     regr.add_argument(
         "--max-ratio", type=float, default=None,
         help="wall-clock / span mean ratio treated as a breach",
     )
     regr.set_defaults(fn=_cmd_regress)
+
+    ing = sub.add_parser(
+        "ingest", help="load a run directory into a SQLite telemetry store"
+    )
+    ing.add_argument("dir", help="directory holding *.jsonl traces")
+    ing.add_argument(
+        "--store", help=f"store path (default <dir>/{DEFAULT_STORE_NAME})"
+    )
+    ing.add_argument(
+        "--pattern", default="*.jsonl", help="trace filename glob"
+    )
+    ing.set_defaults(fn=_cmd_ingest)
+
+    quer = sub.add_parser(
+        "query", help="filter/aggregate events in a telemetry store"
+    )
+    quer.add_argument("store", help="telemetry store path")
+    quer.add_argument("--kind", help="event kind (tick, update_health, ...)")
+    quer.add_argument("--episode", help="episode id filter")
+    quer.add_argument("--loop", help="training-loop label filter")
+    quer.add_argument("--run", type=int, help="ingested run id filter")
+    quer.add_argument(
+        "--field", help="numeric event field to extract/aggregate"
+    )
+    quer.add_argument(
+        "--agg", choices=("count", "mean", "min", "max", "sum"),
+        help="aggregate the field instead of listing values",
+    )
+    quer.add_argument(
+        "--group-by", choices=("kind", "episode", "loop", "run"),
+        help="group the aggregate by this key",
+    )
+    quer.add_argument("--limit", type=int, help="cap returned rows")
+    quer.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the CSV to PATH (needs --field)",
+    )
+    quer.set_defaults(fn=_cmd_query)
+
+    wat = sub.add_parser(
+        "watch", help="live-monitor a growing training trace"
+    )
+    wat.add_argument("trace", help="JSONL trace file being written")
+    wat.add_argument(
+        "--poll", type=float, default=None,
+        help="seconds between polls (default REPRO_WATCH_POLL or 2.0)",
+    )
+    wat.add_argument(
+        "--once", action="store_true",
+        help="single pass over the current contents, then exit",
+    )
+    wat.add_argument(
+        "--exit-on-alert", action="store_true",
+        help="exit nonzero as soon as any watchdog rule fires",
+    )
+    wat.add_argument(
+        "--total-steps", type=int, default=None,
+        help="planned env steps (enables the ETA readout)",
+    )
+    wat.add_argument(
+        "--idle-exit", type=float, default=None,
+        help="stop after this many seconds without new events",
+    )
+    wat.add_argument(
+        "--no-write-alerts", action="store_true",
+        help="do not append alert events to the trace file",
+    )
+    wat.add_argument(
+        "--on-alert", metavar="CMD", default=None,
+        help="shell command run per alert (checkpoint-on-alert hook);"
+             " sees REPRO_ALERT_* env vars",
+    )
+    wat.add_argument("--q-limit", type=float, default=None,
+                     help="q_divergence threshold on max |Q|")
+    wat.add_argument("--entropy-floor", type=float, default=None,
+                     help="entropy_collapse threshold")
+    wat.add_argument("--plateau-window", type=int, default=None,
+                     help="episodes without a new best before reward_plateau")
+    wat.add_argument("--starvation-updates", type=int, default=None,
+                     help="stalled health records before buffer_starvation")
+    wat.add_argument("--throughput-ratio", type=float, default=None,
+                     help="fraction of peak steps/s treated as regression")
+    wat.set_defaults(fn=_cmd_watch)
     return parser
 
 

@@ -98,39 +98,34 @@ def _detector_section(counters: dict, gauges: dict) -> list[str]:
     return lines
 
 
-def build_dashboard(
-    trace_dir: str | Path,
-    metrics_path: str | Path | None = None,
-    bench_path: str | Path | None = None,
+def _render_dashboard(
+    source_label: str,
+    episodes: list[EpisodeTrace],
+    trace_file_count: int,
+    metrics: dict | None,
+    metrics_name: str,
+    bench: dict | None,
+    bench_name: str,
     max_spans: int = 12,
 ) -> str:
-    """Render the markdown dashboard for one run directory.
+    """Render the markdown document from already-loaded inputs.
 
-    ``metrics_path``/``bench_path`` default to ``EXPERIMENTS_metrics.json``
-    and ``BENCH_telemetry.json`` inside (or next to) ``trace_dir``.
+    Both backends — the JSONL directory walk and the SQLite telemetry
+    store — feed this renderer, which is what keeps their output
+    byte-identical for the same run directory.
     """
-    trace_dir = Path(trace_dir)
-    if metrics_path is None:
-        metrics_path = trace_dir / "EXPERIMENTS_metrics.json"
-    if bench_path is None:
-        bench_path = trace_dir / "BENCH_telemetry.json"
-
     lines: list[str] = ["# Experiment dashboard", ""]
     out = lines.append
-    out(f"Source directory: `{trace_dir}`")
+    out(f"Source directory: `{source_label}`")
     out("")
 
-    trace_files = sorted(trace_dir.glob("*.jsonl"))
-    episodes: list[EpisodeTrace] = []
-    for path in trace_files:
-        episodes.extend(load_episodes(path))
     out("## Episodes")
     out("")
     if episodes:
         complete = [e for e in episodes if e.complete]
         out(
             f"{len(complete)} complete episodes across"
-            f" {len(trace_files)} trace file(s)."
+            f" {trace_file_count} trace file(s)."
         )
         out("")
         lines.extend(
@@ -141,25 +136,23 @@ def build_dashboard(
             )
         )
     else:
-        out(f"No episode traces (`*.jsonl`) found in `{trace_dir}`.")
+        out(f"No episode traces (`*.jsonl`) found in `{source_label}`.")
     out("")
 
-    metrics = _load_json(metrics_path)
     if metrics is not None:
         counters = metrics.get("counters", {})
         gauges = metrics.get("gauges", {})
         lines.extend(_detector_section(counters, gauges))
         if counters:
-            out(f"## Counters (`{Path(metrics_path).name}`)")
+            out(f"## Counters (`{metrics_name}`)")
             out("")
             rows = [[f"`{name}`", fmt(value, 0)]
                     for name, value in sorted(counters.items())]
             lines.extend(markdown_table(["counter", "value"], rows))
             out("")
 
-    bench = _load_json(bench_path)
     if bench is not None:
-        out(f"## Bench telemetry (`{Path(bench_path).name}`)")
+        out(f"## Bench telemetry (`{bench_name}`)")
         out("")
         out(
             f"Session wall-clock {fmt(bench.get('wall_clock_s'), 1)} s on"
@@ -190,6 +183,70 @@ def build_dashboard(
             )
             out("")
     return "\n".join(lines) + "\n"
+
+
+def build_dashboard(
+    trace_dir: str | Path,
+    metrics_path: str | Path | None = None,
+    bench_path: str | Path | None = None,
+    max_spans: int = 12,
+) -> str:
+    """Render the markdown dashboard for one run directory.
+
+    ``metrics_path``/``bench_path`` default to ``EXPERIMENTS_metrics.json``
+    and ``BENCH_telemetry.json`` inside (or next to) ``trace_dir``.
+    """
+    trace_dir = Path(trace_dir)
+    if metrics_path is None:
+        metrics_path = trace_dir / "EXPERIMENTS_metrics.json"
+    if bench_path is None:
+        bench_path = trace_dir / "BENCH_telemetry.json"
+
+    trace_files = sorted(trace_dir.glob("*.jsonl"))
+    episodes: list[EpisodeTrace] = []
+    for path in trace_files:
+        episodes.extend(load_episodes(path))
+    return _render_dashboard(
+        str(trace_dir),
+        episodes,
+        len(trace_files),
+        _load_json(metrics_path),
+        Path(metrics_path).name,
+        _load_json(bench_path),
+        Path(bench_path).name,
+        max_spans=max_spans,
+    )
+
+
+def build_dashboard_from_store(
+    store_path: str | Path, max_spans: int = 12
+) -> str:
+    """Render the same dashboard from an ingested telemetry store.
+
+    For a store populated by ``TelemetryStore.ingest_dir`` the output is
+    identical to :func:`build_dashboard` over the original directory —
+    no JSONL re-parsing involved.
+    """
+    from repro.obsv.store import TelemetryStore
+
+    with TelemetryStore(store_path) as store:
+        source = store.get_meta("source_dir") or str(store_path)
+        episodes = store.episodes()
+        trace_file_count = sum(
+            1 for info in store.runs() if info.kind == "trace"
+        )
+        metrics = store.snapshot("EXPERIMENTS_metrics.json")
+        bench = store.snapshot("BENCH_telemetry.json")
+    return _render_dashboard(
+        source,
+        episodes,
+        trace_file_count,
+        metrics,
+        "EXPERIMENTS_metrics.json",
+        bench,
+        "BENCH_telemetry.json",
+        max_spans=max_spans,
+    )
 
 
 _HTML_TEMPLATE = """<!DOCTYPE html>

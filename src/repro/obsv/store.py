@@ -1,0 +1,510 @@
+"""SQLite-backed telemetry store: ingest traces once, query them forever.
+
+The JSONL traces the telemetry layer emits are append-friendly but
+read-hostile: every dashboard render, regression check, or ad-hoc
+question re-parses whole files. :class:`TelemetryStore` ingests trace
+files and metrics/bench snapshots into an indexed SQLite database
+(stdlib ``sqlite3``, no extra deps) so downstream consumers — the
+dashboard, ``repro.obsv regress``, and the ``query`` subcommand — hit
+indexes instead of re-decoding JSON lines.
+
+Layout (schema version 1):
+
+* ``runs``      — one row per ingested source file (trace or snapshot),
+  keyed by absolute path with mtime/size for change detection; re-ingest
+  of an unchanged file is a no-op, a changed file is replaced.
+* ``events``    — one row per trace event. The full record is kept as a
+  JSON payload column; the hot filter fields (kind, episode, loop, step,
+  tick, t) are hoisted into indexed columns.
+* ``snapshots`` — whole metrics / bench JSON documents by name
+  (``EXPERIMENTS_metrics.json``, ``BENCH_telemetry.json``, ...).
+* ``meta``      — key/value store (schema version, source directory).
+
+Field-level reads (``series`` / ``aggregate``) use the SQLite ``json1``
+functions when available and fall back to decoding payloads in Python
+otherwise, so the store works on minimal SQLite builds too.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.obsv.loader import EpisodeTrace, split_episodes
+from repro.telemetry.trace import read_trace, validate_event
+
+#: Default store filename inside an ingested run directory.
+DEFAULT_STORE_NAME = "obsv.sqlite"
+
+SCHEMA_VERSION = 1
+
+#: Aggregations exposed by :meth:`TelemetryStore.aggregate` / the CLI.
+AGGREGATES = ("count", "mean", "min", "max", "sum")
+
+#: Columns usable as GROUP BY keys (all indexed or trivially cheap).
+GROUP_KEYS = ("kind", "episode", "loop", "run")
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id  INTEGER PRIMARY KEY AUTOINCREMENT,
+    source  TEXT NOT NULL UNIQUE,
+    kind    TEXT NOT NULL,
+    mtime   REAL NOT NULL,
+    size    INTEGER NOT NULL,
+    events  INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS events (
+    run_id  INTEGER NOT NULL REFERENCES runs(run_id),
+    seq     INTEGER NOT NULL,
+    kind    TEXT NOT NULL,
+    episode TEXT,
+    loop    TEXT,
+    step    INTEGER,
+    tick    INTEGER,
+    t       REAL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (run_id, seq)
+);
+CREATE INDEX IF NOT EXISTS idx_events_kind ON events(kind);
+CREATE INDEX IF NOT EXISTS idx_events_episode ON events(episode);
+CREATE INDEX IF NOT EXISTS idx_events_loop ON events(loop);
+CREATE TABLE IF NOT EXISTS snapshots (
+    name    TEXT PRIMARY KEY,
+    source  TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
+"""
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One ingested source file."""
+
+    run_id: int
+    source: str
+    kind: str  # "trace" | "snapshot"
+    events: int
+    mtime: float
+    size: int
+
+
+def is_store_path(path: str | Path) -> bool:
+    """Heuristic: does this path name a telemetry store (vs JSON/JSONL)?"""
+    path = Path(path)
+    if path.suffix in (".sqlite", ".db", ".sqlite3"):
+        return True
+    if not path.is_file():
+        return False
+    with path.open("rb") as handle:
+        return handle.read(16) == b"SQLite format 3\x00"
+
+
+class TelemetryStore:
+    """Queryable SQLite mirror of trace files and telemetry snapshots."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.executescript(_DDL)
+        existing = self.get_meta("schema_version")
+        if existing is None:
+            self.set_meta("schema_version", str(SCHEMA_VERSION))
+        elif int(existing) != SCHEMA_VERSION:
+            raise ValueError(
+                f"store {self.path} has schema v{existing}, "
+                f"this build reads v{SCHEMA_VERSION}"
+            )
+        self._json1 = self._probe_json1()
+
+    def _probe_json1(self) -> bool:
+        try:
+            self._conn.execute("SELECT json_extract('{}', '$.x')")
+            return True
+        except sqlite3.OperationalError:
+            return False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "TelemetryStore":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- meta ---------------------------------------------------------------------
+
+    def set_meta(self, key: str, value: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (key, str(value)),
+            )
+
+    def get_meta(self, key: str) -> str | None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    # -- ingest -------------------------------------------------------------------
+
+    def _stat(self, path: Path) -> tuple[float, int]:
+        stat = path.stat()
+        return stat.st_mtime, stat.st_size
+
+    def _existing_run(self, source: str) -> RunInfo | None:
+        row = self._conn.execute(
+            "SELECT run_id, source, kind, events, mtime, size "
+            "FROM runs WHERE source = ?",
+            (source,),
+        ).fetchone()
+        return None if row is None else RunInfo(*row)
+
+    def ingest_trace(self, path: str | Path, force: bool = False) -> RunInfo:
+        """Load one JSONL trace file (idempotent on unchanged files).
+
+        Schema-invalid events are skipped, mirroring the non-strict JSONL
+        loader, so store-backed consumers see the same event stream.
+        """
+        path = Path(path).resolve()
+        mtime, size = self._stat(path)
+        existing = self._existing_run(str(path))
+        if (
+            existing is not None
+            and not force
+            and existing.mtime == mtime
+            and existing.size == size
+        ):
+            return existing
+        events = [e for e in read_trace(path) if not validate_event(e)]
+        with self._conn:
+            if existing is not None:
+                self._conn.execute(
+                    "DELETE FROM events WHERE run_id = ?", (existing.run_id,)
+                )
+                self._conn.execute(
+                    "DELETE FROM runs WHERE run_id = ?", (existing.run_id,)
+                )
+            cursor = self._conn.execute(
+                "INSERT INTO runs (source, kind, mtime, size, events) "
+                "VALUES (?, 'trace', ?, ?, ?)",
+                (str(path), mtime, size, len(events)),
+            )
+            run_id = cursor.lastrowid
+            self._conn.executemany(
+                "INSERT INTO events "
+                "(run_id, seq, kind, episode, loop, step, tick, t, payload) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    (
+                        run_id,
+                        seq,
+                        str(event.get("event", "")),
+                        None
+                        if event.get("episode") is None
+                        else str(event["episode"]),
+                        event.get("loop"),
+                        event.get("step"),
+                        event.get("tick"),
+                        event.get("t"),
+                        json.dumps(event, separators=(",", ":")),
+                    )
+                    for seq, event in enumerate(events)
+                ),
+            )
+        return RunInfo(run_id, str(path), "trace", len(events), mtime, size)
+
+    def ingest_snapshot(
+        self, path: str | Path, name: str | None = None
+    ) -> RunInfo:
+        """Load a metrics / bench JSON document under ``name`` (filename)."""
+        path = Path(path).resolve()
+        mtime, size = self._stat(path)
+        name = name or path.name
+        payload = path.read_text(encoding="utf-8")
+        json.loads(payload)  # refuse to store non-JSON
+        existing = self._existing_run(str(path))
+        with self._conn:
+            if existing is not None:
+                self._conn.execute(
+                    "DELETE FROM runs WHERE run_id = ?", (existing.run_id,)
+                )
+            cursor = self._conn.execute(
+                "INSERT INTO runs (source, kind, mtime, size, events) "
+                "VALUES (?, 'snapshot', ?, ?, 0)",
+                (str(path), mtime, size),
+            )
+            self._conn.execute(
+                "INSERT INTO snapshots (name, source, payload) VALUES (?, ?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET "
+                "source = excluded.source, payload = excluded.payload",
+                (name, str(path), payload),
+            )
+        return RunInfo(cursor.lastrowid, str(path), "snapshot", 0, mtime, size)
+
+    def ingest_dir(
+        self, directory: str | Path, pattern: str = "*.jsonl"
+    ) -> dict[str, int]:
+        """Ingest a run directory: traces plus the standard snapshots.
+
+        Mirrors what the dashboard reads from a directory — every
+        ``*.jsonl`` trace (sorted by name) and, when present,
+        ``EXPERIMENTS_metrics.json`` / ``BENCH_telemetry.json``.
+        """
+        directory = Path(directory).resolve()
+        summary = {"traces": 0, "events": 0, "snapshots": 0}
+        for trace_path in sorted(directory.glob(pattern)):
+            info = self.ingest_trace(trace_path)
+            summary["traces"] += 1
+            summary["events"] += info.events
+        for name in ("EXPERIMENTS_metrics.json", "BENCH_telemetry.json"):
+            candidate = directory / name
+            if candidate.exists():
+                self.ingest_snapshot(candidate)
+                summary["snapshots"] += 1
+        self.set_meta("source_dir", str(directory))
+        return summary
+
+    # -- query --------------------------------------------------------------------
+
+    def runs(self) -> list[RunInfo]:
+        rows = self._conn.execute(
+            "SELECT run_id, source, kind, events, mtime, size "
+            "FROM runs ORDER BY run_id"
+        ).fetchall()
+        return [RunInfo(*row) for row in rows]
+
+    def _where(
+        self,
+        kind: str | None,
+        episode: object | None,
+        loop: str | None,
+        run: int | None,
+    ) -> tuple[str, list]:
+        clauses, params = [], []
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if episode is not None:
+            clauses.append("episode = ?")
+            params.append(str(episode))
+        if loop is not None:
+            clauses.append("loop = ?")
+            params.append(loop)
+        if run is not None:
+            clauses.append("run_id = ?")
+            params.append(int(run))
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        return where, params
+
+    def events(
+        self,
+        kind: str | None = None,
+        episode: object | None = None,
+        loop: str | None = None,
+        run: int | None = None,
+        limit: int | None = None,
+    ) -> list[dict]:
+        """Decoded event records in ingestion order."""
+        where, params = self._where(kind, episode, loop, run)
+        sql = f"SELECT payload FROM events{where} ORDER BY run_id, seq"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        return [
+            json.loads(row[0])
+            for row in self._conn.execute(sql, params)
+        ]
+
+    def episodes(self, run: int | None = None) -> list[EpisodeTrace]:
+        """Episode buckets rebuilt from stored events.
+
+        Events are grouped per source trace file (run) before splitting,
+        exactly as the JSONL loader does per file, so episode ids reused
+        across files do not merge.
+        """
+        where, params = self._where(None, None, None, run)
+        sql = (
+            f"SELECT run_id, payload FROM events{where} ORDER BY run_id, seq"
+        )
+        episodes: list[EpisodeTrace] = []
+        current_run: int | None = None
+        bucket: list[dict] = []
+        for run_id, payload in self._conn.execute(sql, params):
+            if run_id != current_run:
+                if bucket:
+                    episodes.extend(split_episodes(bucket))
+                current_run, bucket = run_id, []
+            bucket.append(json.loads(payload))
+        if bucket:
+            episodes.extend(split_episodes(bucket))
+        return episodes
+
+    def snapshot(self, name: str) -> dict | None:
+        """A stored metrics / bench JSON document by name."""
+        row = self._conn.execute(
+            "SELECT payload FROM snapshots WHERE name = ?", (name,)
+        ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def snapshots(self) -> list[str]:
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT name FROM snapshots ORDER BY name"
+            )
+        ]
+
+    @staticmethod
+    def _check_field(field: str) -> str:
+        if not field.replace("_", "").isalnum():
+            raise ValueError(f"bad field name {field!r}")
+        return field
+
+    def series(
+        self,
+        field: str,
+        kind: str | None = None,
+        episode: object | None = None,
+        loop: str | None = None,
+        run: int | None = None,
+    ) -> list[float]:
+        """One numeric event field over time (events lacking it skipped)."""
+        self._check_field(field)
+        where, params = self._where(kind, episode, loop, run)
+        if self._json1:
+            sql = (
+                f"SELECT json_extract(payload, '$.{field}') "
+                f"FROM events{where} ORDER BY run_id, seq"
+            )
+            try:
+                return [
+                    float(row[0])
+                    for row in self._conn.execute(sql, params)
+                    if row[0] is not None
+                ]
+            except sqlite3.OperationalError:
+                pass  # NaN/Infinity payloads are not valid JSON for json1
+        return [
+            float(event[field])
+            for event in self.events(kind, episode, loop, run)
+            if field in event and event[field] is not None
+        ]
+
+    def aggregate(
+        self,
+        field: str,
+        agg: str = "mean",
+        kind: str | None = None,
+        episode: object | None = None,
+        loop: str | None = None,
+        run: int | None = None,
+        group_by: str | None = None,
+    ) -> list[tuple]:
+        """Aggregate one event field, optionally grouped.
+
+        Returns ``[(value,)]`` ungrouped or ``[(group, value), ...]``
+        grouped by one of :data:`GROUP_KEYS`.
+        """
+        if agg not in AGGREGATES:
+            raise ValueError(f"agg must be one of {AGGREGATES}, got {agg!r}")
+        if group_by is not None and group_by not in GROUP_KEYS:
+            raise ValueError(
+                f"group_by must be one of {GROUP_KEYS}, got {group_by!r}"
+            )
+        group_col = "run_id" if group_by == "run" else group_by
+        if self._json1:
+            self._check_field(field)
+            expr = f"json_extract(payload, '$.{field}')"
+            sql_agg = {
+                "count": f"COUNT({expr})",
+                "mean": f"AVG({expr})",
+                "min": f"MIN({expr})",
+                "max": f"MAX({expr})",
+                "sum": f"SUM({expr})",
+            }[agg]
+            where, params = self._where(kind, episode, loop, run)
+            not_null = f"{expr} IS NOT NULL"
+            where = (
+                where + f" AND {not_null}" if where else f" WHERE {not_null}"
+            )
+            if group_col is None:
+                sql = f"SELECT {sql_agg} FROM events{where}"
+            else:
+                sql = (
+                    f"SELECT {group_col}, {sql_agg} FROM events{where} "
+                    f"GROUP BY {group_col} ORDER BY {group_col}"
+                )
+            try:
+                return list(self._conn.execute(sql, params))
+            except sqlite3.OperationalError:
+                pass  # NaN/Infinity payloads are not valid JSON for json1
+        return self._aggregate_python(
+            field, agg, kind, episode, loop, run, group_by
+        )
+
+    def _aggregate_python(
+        self, field, agg, kind, episode, loop, run, group_by
+    ) -> list[tuple]:
+        where, params = self._where(kind, episode, loop, run)
+        sql = f"SELECT run_id, payload FROM events{where} ORDER BY run_id, seq"
+        groups: dict[object, list[float]] = {}
+        for run_id, payload in self._conn.execute(sql, params):
+            event = json.loads(payload)
+            if field not in event or event[field] is None:
+                continue
+            if group_by is None:
+                key = None
+            elif group_by == "run":
+                key = run_id
+            else:
+                key = event.get(
+                    "event" if group_by == "kind" else group_by
+                )
+            groups.setdefault(key, []).append(float(event[field]))
+        reduced = {
+            "count": len,
+            "mean": lambda v: sum(v) / len(v),
+            "min": min,
+            "max": max,
+            "sum": sum,
+        }[agg]
+        if group_by is None:
+            values = groups.get(None, [])
+            return [(reduced(values) if values else None,)]
+        return sorted(
+            ((key, reduced(values)) for key, values in groups.items()),
+            key=lambda kv: (kv[0] is None, str(kv[0])),
+        )
+
+
+def export_csv(
+    header: Iterable[str],
+    rows: Iterable[Iterable[object]],
+    path: str | Path | None = None,
+) -> str:
+    """Rows as CSV text, optionally written to ``path``."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(header))
+    for row in rows:
+        writer.writerow(list(row))
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

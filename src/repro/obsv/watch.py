@@ -1,0 +1,351 @@
+"""``repro.obsv watch`` — live monitor for a growing training trace.
+
+Tails a JSONL trace with plain polling (no filesystem-notification
+dependencies), keeps incremental per-loop statistics, renders a
+refreshing terminal view (throughput, ETA, reward/loss/entropy
+sparklines via :mod:`repro.obsv.render`), and pipes every event through
+the :class:`~repro.obsv.alerts.Watchdog`. When a rule fires, the alert
+is (by default) appended to the trace itself as a structured ``alert``
+event — so the run's own artifact records the diagnosis and later
+ingestion into the telemetry store picks it up — and two optional hooks
+run:
+
+* ``exit_on_alert`` — stop watching and exit nonzero, which lets CI and
+  budget-capped training jobs fail fast instead of burning the full run;
+* ``on_alert`` — a shell command (e.g. a checkpoint-on-alert script that
+  snapshots the learner state or signals the trainer) executed with
+  ``REPRO_ALERT_RULE`` / ``REPRO_ALERT_SEVERITY`` / ``REPRO_ALERT_MESSAGE``
+  / ``REPRO_ALERT_TRACE`` in its environment.
+
+``once=True`` performs a single pass over the current file contents and
+returns — that is the mode tests and post-hoc "did anything trip?"
+checks use on completed traces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obsv.alerts import Alert, WatchConfig, Watchdog
+from repro.obsv.render import fmt, sparkline
+from repro.telemetry.log import get_logger
+from repro.telemetry.trace import TraceWriter
+
+log = get_logger("obsv.watch")
+
+#: Default seconds between polls (``REPRO_WATCH_POLL`` overrides).
+DEFAULT_POLL_S = 2.0
+
+
+def poll_interval(configured: float | None = None) -> float:
+    """Effective poll interval: explicit value, else env, else default."""
+    if configured is not None:
+        return max(float(configured), 0.05)
+    raw = os.environ.get("REPRO_WATCH_POLL", "").strip()
+    try:
+        return max(float(raw), 0.05) if raw else DEFAULT_POLL_S
+    except ValueError:
+        return DEFAULT_POLL_S
+
+
+class TraceTail:
+    """Incremental JSONL reader that survives partially written lines."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._partial = ""
+
+    def poll(self) -> list[dict]:
+        """Decoded events appended since the previous poll."""
+        if not self.path.exists():
+            return []
+        size = self.path.stat().st_size
+        if size < self._offset:
+            # Truncated/rotated underneath us: start over.
+            self._offset = 0
+            self._partial = ""
+        if size == self._offset:
+            return []
+        with self.path.open("r", encoding="utf-8") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+            self._offset = handle.tell()
+        text = self._partial + chunk
+        lines = text.split("\n")
+        self._partial = lines.pop()  # "" on a clean trailing newline
+        events = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                log.warning("watch.bad_line", bytes=len(line))
+        return events
+
+
+@dataclass
+class _LoopView:
+    """Display accumulators for one training loop."""
+
+    step: int = 0
+    episodes: int = 0
+    rewards: deque = field(default_factory=lambda: deque(maxlen=600))
+    episode_returns: list = field(default_factory=list)
+    running_return: float = 0.0
+    health: dict = field(default_factory=dict)
+    critic_loss: deque = field(default_factory=lambda: deque(maxlen=120))
+    actor_loss: deque = field(default_factory=lambda: deque(maxlen=120))
+    entropy: deque = field(default_factory=lambda: deque(maxlen=120))
+    steps_per_s: deque = field(default_factory=lambda: deque(maxlen=120))
+
+
+@dataclass
+class WatchState:
+    """Everything the renderer needs, updated per event."""
+
+    events: int = 0
+    episodes_seen: int = 0
+    ticks_seen: int = 0
+    loops: dict = field(default_factory=dict)
+    alerts: dict = field(default_factory=dict)  # (rule, loop) -> Alert
+
+    def loop(self, name: str) -> _LoopView:
+        view = self.loops.get(name)
+        if view is None:
+            view = self.loops[name] = _LoopView()
+        return view
+
+    def ingest(self, event: dict) -> None:
+        self.events += 1
+        kind = event.get("event")
+        if kind == "train_step":
+            view = self.loop(str(event.get("loop", "")))
+            view.step = max(view.step, int(event.get("step", 0)))
+            reward = event.get("reward")
+            if isinstance(reward, (int, float)):
+                view.rewards.append(float(reward))
+                view.running_return += float(reward)
+            if event.get("done"):
+                view.episodes += 1
+                view.episode_returns.append(view.running_return)
+                view.running_return = 0.0
+        elif kind == "update_health":
+            view = self.loop(str(event.get("loop", "")))
+            view.step = max(view.step, int(event.get("step", 0)))
+            view.health = event
+            for name in ("critic_loss", "actor_loss", "entropy",
+                         "steps_per_s"):
+                value = event.get(name)
+                if isinstance(value, (int, float)):
+                    getattr(view, name).append(float(value))
+        elif kind == "episode_start":
+            self.episodes_seen += 1
+        elif kind == "tick":
+            self.ticks_seen += 1
+        elif kind == "alert":
+            key = (str(event.get("rule")), str(event.get("loop", "")))
+            if key not in self.alerts:
+                self.alerts[key] = Alert(
+                    rule=key[0],
+                    severity=str(event.get("severity", "warning")),
+                    message=str(event.get("message", "")),
+                    loop=key[1],
+                    step=event.get("step"),
+                    value=event.get("value"),
+                    threshold=event.get("threshold"),
+                )
+
+    def add_alert(self, alert: Alert) -> None:
+        self.alerts.setdefault((alert.rule, alert.loop), alert)
+
+
+def _eta_s(view: _LoopView, total_steps: int | None) -> float | None:
+    if not total_steps or view.step >= total_steps:
+        return None
+    rate = view.steps_per_s[-1] if view.steps_per_s else None
+    if not rate or rate <= 0.0:
+        return None
+    return (total_steps - view.step) / rate
+
+
+def render_status(
+    state: WatchState,
+    path: str | Path,
+    total_steps: int | None = None,
+    width: int = 48,
+) -> str:
+    """The full refreshing terminal view as one multi-line string."""
+    lines = [f"repro.obsv watch — {path} ({state.events} events)"]
+    for name, view in sorted(state.loops.items()):
+        health = view.health
+        parts = [f"loop {name or '?'}: step {view.step}"]
+        if health:
+            parts.append(f"update {health.get('update', '?')}")
+            size = health.get("buffer_size")
+            cap = health.get("buffer_capacity")
+            if size is not None:
+                parts.append(f"buffer {size}/{cap if cap else '?'}")
+            rate = view.steps_per_s[-1] if view.steps_per_s else None
+            if rate is not None:
+                parts.append(f"{fmt(rate, 1)} steps/s")
+        eta = _eta_s(view, total_steps)
+        if eta is not None:
+            parts.append(f"ETA {fmt(eta, 0)}s of {total_steps}")
+        lines.append("  ".join(parts))
+        if view.rewards:
+            lines.append(
+                f"  reward    {sparkline(view.rewards, width)}"
+                f"  last {fmt(view.rewards[-1], 3)}"
+            )
+        if view.episode_returns:
+            returns = view.episode_returns
+            lines.append(
+                f"  ep return {sparkline(returns, width)}"
+                f"  n={len(returns)} best {fmt(max(returns), 2)}"
+                f" last {fmt(returns[-1], 2)}"
+            )
+        if view.critic_loss:
+            lines.append(
+                f"  critic    {sparkline(view.critic_loss, width)}"
+                f"  last {fmt(view.critic_loss[-1], 4)}"
+            )
+        if view.actor_loss:
+            lines.append(
+                f"  actor     {sparkline(view.actor_loss, width)}"
+                f"  last {fmt(view.actor_loss[-1], 4)}"
+            )
+        if health:
+            lines.append(
+                "  alpha "
+                + fmt(health.get("alpha"), 4)
+                + "  entropy "
+                + fmt(health.get("entropy"), 3)
+                + "  q_mean "
+                + fmt(health.get("q_mean"), 3)
+                + "  q_max "
+                + fmt(health.get("q_max"), 3)
+                + "  grad a/c "
+                + fmt(health.get("actor_grad_norm"), 3)
+                + "/"
+                + fmt(health.get("critic_grad_norm"), 3)
+            )
+    if state.episodes_seen:
+        lines.append(
+            f"episodes {state.episodes_seen}  ticks {state.ticks_seen}"
+        )
+    if state.alerts:
+        lines.append("alerts:")
+        for alert in state.alerts.values():
+            lines.append(
+                f"  [{alert.severity.upper()}] {alert.rule}"
+                f" ({alert.loop or '-'}): {alert.message}"
+            )
+    else:
+        lines.append("alerts: none")
+    return "\n".join(lines) + "\n"
+
+
+def _run_alert_hook(command: str, alert: Alert, trace_path: Path) -> None:
+    env = {
+        **os.environ,
+        "REPRO_ALERT_RULE": alert.rule,
+        "REPRO_ALERT_SEVERITY": alert.severity,
+        "REPRO_ALERT_MESSAGE": alert.message,
+        "REPRO_ALERT_LOOP": alert.loop,
+        "REPRO_ALERT_TRACE": str(trace_path),
+    }
+    try:
+        subprocess.run(command, shell=True, env=env, timeout=120)
+    except (OSError, subprocess.SubprocessError) as exc:
+        log.error("watch.alert_hook_failed", command=command, error=str(exc))
+
+
+def watch_trace(
+    path: str | Path,
+    config: WatchConfig | None = None,
+    poll: float | None = None,
+    once: bool = False,
+    exit_on_alert: bool = False,
+    total_steps: int | None = None,
+    write_alerts: bool = True,
+    idle_exit: float | None = None,
+    on_alert: str | None = None,
+    out=None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> int:
+    """Tail ``path``, render the live view, and evaluate the watchdogs.
+
+    Returns 0, or 1 when ``exit_on_alert`` is set and any rule fired.
+    ``idle_exit`` stops the follow loop after that many seconds without
+    new events (None = follow until interrupted).
+    """
+    path = Path(path)
+    out = out if out is not None else sys.stdout
+    interval = poll_interval(poll)
+    tail = TraceTail(path)
+    watchdog = Watchdog(config)
+    state = WatchState()
+    writer: TraceWriter | None = None
+    is_tty = getattr(out, "isatty", lambda: False)()
+    last_event_time = clock()
+
+    try:
+        while True:
+            events = tail.poll()
+            fired: list[Alert] = []
+            # Recorded alerts (a previous watch session) sit *after* the
+            # events that tripped them; arm the dedup before replaying
+            # the batch so re-watching never duplicates an alert.
+            for event in events:
+                if event.get("event") == "alert":
+                    watchdog.observe(event)
+            for event in events:
+                state.ingest(event)
+                fired.extend(watchdog.observe(event))
+            if events:
+                last_event_time = clock()
+            for alert in fired:
+                state.add_alert(alert)
+                log.warning(
+                    "watch.alert", rule=alert.rule, severity=alert.severity,
+                    loop=alert.loop, message=alert.message,
+                )
+                if write_alerts:
+                    if writer is None:
+                        writer = TraceWriter(path)
+                    writer.emit("alert", **alert.to_event())
+                    writer.flush()
+                if on_alert:
+                    _run_alert_hook(on_alert, alert, path)
+            if is_tty and not once:
+                out.write("\x1b[2J\x1b[H")  # clear + home between refreshes
+            out.write(render_status(state, path, total_steps))
+            out.flush()
+            if once:
+                break
+            if exit_on_alert and state.alerts:
+                break
+            if (
+                idle_exit is not None
+                and clock() - last_event_time >= idle_exit
+            ):
+                log.info("watch.idle_exit", idle_s=idle_exit)
+                break
+            sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if writer is not None:
+            writer.close()
+    return 1 if (exit_on_alert and state.alerts) else 0

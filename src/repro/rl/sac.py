@@ -49,6 +49,9 @@ class SacConfig:
     #: randomly initialized critics' argmax and forget the warm start.
     actor_delay: int = 0
     max_grad_norm: float = 10.0
+    #: Emit one ``update_health`` trace record every this many gradient
+    #: updates (0 = disabled; ``REPRO_HEALTH_EVERY`` overrides 0).
+    health_every: int = 0
 
 
 class Sac:
@@ -114,6 +117,8 @@ class Sac:
         self._gauge_actor = registry.gauge("sac_actor_loss")
         self._gauge_alpha = registry.gauge("sac_alpha")
         self._gauge_replay = registry.gauge("sac_replay_occupancy")
+        self._gauge_entropy = registry.gauge("sac_policy_entropy")
+        self._gauge_q_max = registry.gauge("sac_q_max")
         self._counter_updates = registry.counter("sac_updates_total")
 
     # -- acting -------------------------------------------------------------------
@@ -151,8 +156,26 @@ class Sac:
         self._gauge_actor.set(stats["actor_loss"])
         self._gauge_alpha.set(stats["alpha"])
         self._gauge_replay.set(len(self.replay))
+        self._gauge_entropy.set(stats["entropy"])
+        self._gauge_q_max.set(stats["q_max"])
         self._counter_updates.inc()
         return stats
+
+    def health(self) -> dict[str, int]:
+        """Learner-level health fields (merged into ``update_health``)."""
+        return {
+            "buffer_size": len(self.replay),
+            "buffer_capacity": self.replay.capacity,
+        }
+
+    @staticmethod
+    def _grad_norm(params) -> float:
+        """Global L2 norm over a parameter list's current gradients."""
+        total = 0.0
+        for param in params:
+            if param.grad is not None:
+                total += float(np.sum(param.grad * param.grad))
+        return float(np.sqrt(total))
 
     def _update(self) -> dict[str, float]:
         cfg = self.config
@@ -185,10 +208,12 @@ class Sac:
         ).mean()
         self.critic_opt.zero_grad()
         critic_loss.backward()
+        critic_grad_norm = self._grad_norm(self.critic_opt.params)
         self.critic_opt.step()
 
         # Actor update (critic gradients are discarded via zero_grad).
         actor_loss_value = 0.0
+        actor_grad_norm = 0.0
         log_prob = None
         if self.total_updates >= cfg.actor_delay:
             noise = self.rng.standard_normal((cfg.batch_size, self.action_dim))
@@ -200,6 +225,7 @@ class Sac:
             self.actor_opt.zero_grad()
             self.critic_opt.zero_grad()
             actor_loss.backward()
+            actor_grad_norm = self._grad_norm(self.actor_opt.params)
             self.actor_opt.step()
             self.critic_opt.zero_grad()
             actor_loss_value = float(actor_loss.data)
@@ -217,12 +243,23 @@ class Sac:
         self._polyak(self.q1, self.q1_target)
         self._polyak(self.q2, self.q2_target)
         self.total_updates += 1
+        # Entropy estimate from the freshest log-probs available: the
+        # actor's reparameterized batch when the actor trained this round,
+        # else the target-sampling batch (critic-only warmup).
+        log_probs = log_prob.data if log_prob is not None else next_log_prob
         return {
             "critic_loss": float(critic_loss.data),
             "actor_loss": actor_loss_value,
             "alpha_loss": alpha_loss_value,
             "alpha": self.alpha,
             "q1_mean": float(q1_pred.data.mean()),
+            "q_mean": float(q1_pred.data.mean()),
+            "q_max": float(
+                max(np.abs(q1_pred.data).max(), np.abs(q2_pred.data).max())
+            ),
+            "entropy": float(-np.mean(log_probs)),
+            "actor_grad_norm": actor_grad_norm,
+            "critic_grad_norm": critic_grad_norm,
         }
 
     def _polyak(self, source: QNetwork, target: QNetwork) -> None:

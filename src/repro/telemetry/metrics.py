@@ -15,11 +15,23 @@ leave permanently enabled — and never touch an RNG.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
 
 _PERCENTILES = (50.0, 90.0, 99.0)
+
+#: Environment cap on stored histogram samples (0 / unset = unlimited).
+_HIST_CAP_ENV = "REPRO_HIST_MAX_SAMPLES"
+
+
+def _env_hist_cap() -> int:
+    raw = os.environ.get(_HIST_CAP_ENV, "")
+    try:
+        return max(int(raw), 0) if raw.strip() else 0
+    except ValueError:
+        return 0
 
 
 def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
@@ -65,22 +77,64 @@ class Gauge:
 
 
 class Histogram:
-    """Exact-value histogram in a growable numpy buffer.
+    """Exact-value histogram in a growable numpy buffer, optionally capped.
 
-    Stores every observation (float64, doubling growth) so the snapshot
-    can report exact percentiles; intended for per-episode / per-update
-    cadences, not per-physics-substep firehoses.
+    By default every observation is stored (float64, doubling growth) so
+    the snapshot can report exact percentiles; intended for per-episode /
+    per-update cadences, not per-physics-substep firehoses. Setting
+    ``max_samples`` (or the ``REPRO_HIST_MAX_SAMPLES`` environment
+    variable) bounds memory: beyond the cap the buffer switches to
+    reservoir sampling (Algorithm R) driven by a private fixed-seed LCG,
+    so the sample — and therefore every snapshot — stays deterministic
+    for a given observation sequence and never touches the global RNG.
     """
 
-    __slots__ = ("_data", "_size")
+    __slots__ = ("_data", "_size", "_seen", "_cap", "_lcg", "_sum", "_min",
+                 "_max")
 
-    def __init__(self, initial_capacity: int = 256) -> None:
-        self._data = np.empty(max(int(initial_capacity), 1), dtype=np.float64)
+    #: splitmix64 golden-gamma seed for the private reservoir LCG.
+    _LCG_SEED = 0x9E3779B97F4A7C15
+
+    def __init__(
+        self, initial_capacity: int = 256, max_samples: int | None = None
+    ) -> None:
+        self._cap = (
+            _env_hist_cap() if max_samples is None else max(int(max_samples), 0)
+        )
+        capacity = max(int(initial_capacity), 1)
+        if self._cap:
+            capacity = min(capacity, self._cap)
+        self._data = np.empty(capacity, dtype=np.float64)
         self._size = 0
+        self._seen = 0
+        self._lcg = self._LCG_SEED
+        # Exact running moments, so a capped histogram still reports true
+        # count/sum/min/max (only percentiles come from the reservoir).
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
 
     def observe(self, value: float) -> None:
+        value = float(value)
+        self._seen += 1
+        self._sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if self._cap and self._size >= self._cap:
+            # Deterministic Algorithm R: keep each of the `seen` values
+            # with probability cap/seen.
+            self._lcg = (
+                self._lcg * 6364136223846793005 + 1442695040888963407
+            ) & 0xFFFFFFFFFFFFFFFF
+            slot = self._lcg % self._seen
+            if slot < self._cap:
+                self._data[slot] = value
+            return
         if self._size == len(self._data):
-            grown = np.empty(len(self._data) * 2, dtype=np.float64)
+            grown_len = len(self._data) * 2
+            if self._cap:
+                grown_len = min(grown_len, self._cap)
+            grown = np.empty(grown_len, dtype=np.float64)
             grown[: self._size] = self._data
             self._data = grown
         self._data[self._size] = value
@@ -88,24 +142,43 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        """Total observations seen (not the stored-sample size)."""
+        return self._seen
+
+    @property
+    def sample_size(self) -> int:
+        """Observations currently stored (== ``count`` unless capped)."""
         return self._size
 
     @property
     def values(self) -> np.ndarray:
-        """A copy of the recorded observations, in arrival order."""
+        """A copy of the stored observations, in buffer order."""
         return self._data[: self._size].copy()
 
     def summary(self) -> dict[str, float]:
-        if self._size == 0:
+        if self._seen == 0:
             return {"count": 0}
         data = self._data[: self._size]
-        stats = {
-            "count": int(self._size),
-            "sum": float(data.sum()),
-            "mean": float(data.mean()),
-            "min": float(data.min()),
-            "max": float(data.max()),
-        }
+        if self._size == self._seen:
+            # Uncapped (or under the cap): exact stats from the buffer,
+            # bit-identical to the historical unbounded behaviour.
+            stats = {
+                "count": int(self._size),
+                "sum": float(data.sum()),
+                "mean": float(data.mean()),
+                "min": float(data.min()),
+                "max": float(data.max()),
+            }
+        else:
+            stats = {
+                "count": int(self._seen),
+                "sum": self._sum,
+                "mean": self._sum / self._seen,
+                "min": self._min,
+                "max": self._max,
+                #: Reservoir size backing the (estimated) percentiles.
+                "samples": int(self._size),
+            }
         for pct, val in zip(_PERCENTILES, np.percentile(data, _PERCENTILES)):
             stats[f"p{pct:g}"] = float(val)
         return stats

@@ -101,6 +101,43 @@ SCHEMAS: dict[str, dict[str, dict[str, tuple]]] = {
         "required": {"name": (str,), "start_s": _NUMBER, "duration_s": _NUMBER},
         "optional": {},
     },
+    "update_health": {
+        #: Per-gradient-update learner health record (emitted every
+        #: ``health_every`` updates by the SAC training loops). The live
+        #: watchdogs (:mod:`repro.obsv.alerts`) key off these fields.
+        "required": {"loop": (str,), "step": (int,), "update": (int,)},
+        "optional": {
+            "critic_loss": _NUMBER,
+            "actor_loss": _NUMBER,
+            "alpha_loss": _NUMBER,
+            "alpha": _NUMBER,
+            #: Mean of the Q1 critic's minibatch predictions, and the max
+            #: |Q| across both critics (divergence indicator).
+            "q_mean": _NUMBER,
+            "q_max": _NUMBER,
+            #: Policy entropy estimate, ``-mean(log_prob)`` over the batch.
+            "entropy": _NUMBER,
+            "actor_grad_norm": _NUMBER,
+            "critic_grad_norm": _NUMBER,
+            "buffer_size": (int,),
+            "buffer_capacity": (int,),
+            #: Environment steps per wall-clock second since the previous
+            #: health record.
+            "steps_per_s": _NUMBER,
+        },
+    },
+    "alert": {
+        #: A watchdog rule firing (written by ``repro.obsv watch``).
+        "required": {"rule": (str,), "severity": (str,), "message": (str,)},
+        "optional": {
+            "loop": (str,),
+            "step": (int,),
+            "update": (int,),
+            #: The observed value that tripped the rule and its threshold.
+            "value": _NUMBER,
+            "threshold": _NUMBER,
+        },
+    },
 }
 
 

@@ -1,0 +1,270 @@
+"""Tests for the SQLite telemetry store: ingest, query, parity."""
+
+import json
+import math
+
+import pytest
+
+from repro.agents.modular import ModularAgent
+from repro.core.attackers import OracleAttacker
+from repro.eval.episodes import run_episodes
+from repro.obsv.cli import main
+from repro.obsv.dashboard import build_dashboard, build_dashboard_from_store
+from repro.obsv.store import (
+    AGGREGATES,
+    TelemetryStore,
+    export_csv,
+    is_store_path,
+)
+from repro.telemetry.trace import TraceWriter
+
+pytestmark = [pytest.mark.obsv, pytest.mark.watch]
+
+
+def write_training_trace(path, loops=("sac-a", "sac-b"), records=5):
+    writer = TraceWriter(path)
+    for loop in loops:
+        for i in range(records):
+            writer.emit(
+                "update_health",
+                loop=loop,
+                step=i * 10,
+                update=i + 1,
+                critic_loss=1.0 + i,
+                q_mean=float(i),
+                q_max=float(10 * (i + 1)),
+                entropy=0.5,
+                buffer_size=100 + i,
+                buffer_capacity=1000,
+            )
+    writer.close()
+    return path
+
+
+@pytest.fixture()
+def run_dir(tmp_path):
+    writer = TraceWriter(tmp_path / "episodes.jsonl")
+    run_episodes(
+        lambda w: ModularAgent(w.road),
+        lambda: OracleAttacker(budget=1.0),
+        n_episodes=2,
+        seed=3,
+        trace=writer,
+    )
+    writer.close()
+    write_training_trace(tmp_path / "training.jsonl")
+    (tmp_path / "EXPERIMENTS_metrics.json").write_text(
+        json.dumps(
+            {
+                "counters": {"episodes_total": 2.0},
+                "gauges": {"detector_latency_ticks": 2.0},
+                "histograms": {},
+            }
+        ),
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+class TestIngest:
+    def test_dir_round_trip(self, run_dir, tmp_path):
+        store_path = tmp_path / "telemetry.sqlite"
+        with TelemetryStore(store_path) as store:
+            summary = store.ingest_dir(run_dir)
+            assert summary["traces"] == 2
+            assert summary["snapshots"] == 1
+            assert summary["events"] > 0
+            # Every stored event decodes back to the original record.
+            health = store.events(kind="update_health", loop="sac-a")
+            assert len(health) == 5
+            assert health[0]["critic_loss"] == 1.0
+            assert health[-1]["q_max"] == 50.0
+            snap = store.snapshot("EXPERIMENTS_metrics.json")
+            assert snap["counters"]["episodes_total"] == 2.0
+            assert store.snapshots() == ["EXPERIMENTS_metrics.json"]
+
+    def test_reingest_unchanged_is_noop(self, run_dir, tmp_path):
+        with TelemetryStore(tmp_path / "s.sqlite") as store:
+            first = store.ingest_trace(run_dir / "training.jsonl")
+            second = store.ingest_trace(run_dir / "training.jsonl")
+            assert second.run_id == first.run_id
+            assert len(store.events(kind="update_health")) == 10
+
+    def test_changed_file_is_replaced(self, tmp_path):
+        trace = write_training_trace(tmp_path / "t.jsonl", loops=("x",))
+        with TelemetryStore(tmp_path / "s.sqlite") as store:
+            store.ingest_trace(trace)
+            write_training_trace(trace, loops=("x", "y"))
+            store.ingest_trace(trace, force=True)
+            # Old rows gone, new rows present, exactly once.
+            assert len(store.events(kind="update_health")) == 15
+
+    def test_invalid_events_are_skipped(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        good = {"event": "update_health", "loop": "x", "step": 0, "update": 1}
+        bad = {"event": "update_health", "loop": 3}  # schema violation
+        trace.write_text(
+            json.dumps(good) + "\n" + json.dumps(bad) + "\n", encoding="utf-8"
+        )
+        with TelemetryStore(tmp_path / "s.sqlite") as store:
+            info = store.ingest_trace(trace)
+            assert info.events == 1
+
+    def test_is_store_path(self, tmp_path):
+        store_path = tmp_path / "anything.bin"
+        TelemetryStore(store_path).close()
+        assert is_store_path(store_path)  # magic bytes
+        assert is_store_path(tmp_path / "x.sqlite")  # suffix, no file
+        jsonl = tmp_path / "t.jsonl"
+        jsonl.write_text("{}\n")
+        assert not is_store_path(jsonl)
+
+
+class TestQuery:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        write_training_trace(tmp_path / "training.jsonl")
+        with TelemetryStore(tmp_path / "s.sqlite") as store:
+            store.ingest_dir(tmp_path)
+            yield store
+
+    def test_series(self, store):
+        values = store.series("q_max", kind="update_health", loop="sac-a")
+        assert values == [10.0, 20.0, 30.0, 40.0, 50.0]
+
+    def test_aggregate_scalar(self, store):
+        ((mean,),) = store.aggregate("critic_loss", agg="mean")
+        assert mean == pytest.approx(3.0)
+
+    def test_aggregate_grouped(self, store):
+        rows = store.aggregate("q_max", agg="max", group_by="loop")
+        assert rows == [("sac-a", 50.0), ("sac-b", 50.0)]
+        by_run = store.aggregate("q_max", agg="count", group_by="run")
+        assert [count for _, count in by_run] == [10]
+
+    def test_every_aggregate_runs(self, store):
+        for agg in AGGREGATES:
+            assert store.aggregate("q_mean", agg=agg)
+
+    def test_bad_inputs_raise(self, store):
+        with pytest.raises(ValueError):
+            store.aggregate("q_max", agg="median")
+        with pytest.raises(ValueError):
+            store.aggregate("q_max", group_by="payload")
+        with pytest.raises(ValueError):
+            store.series("q; DROP TABLE events")
+
+    def test_nan_payloads_fall_back(self, tmp_path):
+        writer = TraceWriter(tmp_path / "nan.jsonl")
+        writer.emit(
+            "update_health", loop="x", step=0, update=1,
+            critic_loss=float("nan"), q_max=2.0,
+        )
+        writer.close()
+        with TelemetryStore(tmp_path / "s.sqlite") as store:
+            store.ingest_trace(tmp_path / "nan.jsonl")
+            # json1 chokes on NaN payloads; the Python fallback must not.
+            values = store.series("critic_loss", kind="update_health")
+            assert len(values) == 1 and math.isnan(values[0])
+            rows = store.aggregate("q_max", agg="max")
+            assert rows[0][-1] == 2.0
+
+
+class TestExportCsv:
+    def test_text_and_file(self, tmp_path):
+        out = tmp_path / "out.csv"
+        text = export_csv(["loop", "q"], [("a", 1.5), ("b", 2.5)], out)
+        assert text == "loop,q\na,1.5\nb,2.5\n"
+        assert out.read_text(encoding="utf-8") == text
+
+
+class TestParity:
+    def test_dashboard_matches_jsonl_backend(self, run_dir, tmp_path):
+        store_path = tmp_path / "s.sqlite"
+        with TelemetryStore(store_path) as store:
+            store.ingest_dir(run_dir)
+        from_dir = build_dashboard(run_dir.resolve())
+        from_store = build_dashboard_from_store(store_path)
+        assert from_store == from_dir
+
+    def test_episode_reconstruction(self, run_dir, tmp_path):
+        from repro.obsv.loader import load_episodes
+
+        store_path = tmp_path / "s.sqlite"
+        with TelemetryStore(store_path) as store:
+            store.ingest_dir(run_dir)
+            rebuilt = store.episodes()
+        direct = load_episodes(run_dir / "episodes.jsonl")
+        complete = [e for e in rebuilt if e.complete]
+        assert len(complete) == len([e for e in direct if e.complete])
+        assert {e.episode for e in complete} == {
+            e.episode for e in direct if e.complete
+        }
+
+
+class TestCli:
+    def test_ingest_then_query(self, run_dir, capsys):
+        assert main(["ingest", str(run_dir)]) == 0
+        store_path = run_dir / "obsv.sqlite"
+        assert store_path.exists()
+        capsys.readouterr()
+
+        assert main([
+            "query", str(store_path), "--kind", "update_health",
+            "--loop", "sac-a", "--field", "q_max",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == ["q_max", "10.0", "20.0", "30.0",
+                                    "40.0", "50.0"]
+
+        assert main([
+            "query", str(store_path), "--kind", "update_health",
+            "--field", "q_max", "--agg", "max", "--group-by", "loop",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sac-a,50.0" in out and "sac-b,50.0" in out
+
+    def test_query_events_jsonl(self, run_dir, capsys):
+        main(["ingest", str(run_dir)])
+        capsys.readouterr()
+        assert main([
+            "query", str(run_dir / "obsv.sqlite"),
+            "--kind", "update_health", "--limit", "3",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(
+            json.loads(line)["event"] == "update_health" for line in lines
+        )
+
+    def test_dashboard_accepts_store(self, run_dir, capsys):
+        main(["ingest", str(run_dir)])
+        capsys.readouterr()
+        assert main(["dashboard", str(run_dir / "obsv.sqlite")]) == 0
+        store_out = capsys.readouterr().out
+        assert main(["dashboard", str(run_dir.resolve())]) == 0
+        dir_out = capsys.readouterr().out
+        assert store_out == dir_out
+
+    def test_regress_accepts_store(self, run_dir, tmp_path, capsys):
+        bench = {
+            "schema": 1, "wall_clock_s": 100.0,
+            "spans": {}, "metrics": {"counters": {}},
+        }
+        current = run_dir / "BENCH_telemetry.json"
+        current.write_text(json.dumps(bench), encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({**bench, "wall_clock_s": 30.0}), encoding="utf-8"
+        )
+        main(["ingest", str(run_dir)])
+        capsys.readouterr()
+
+        rc_file = main(["regress", str(current), str(baseline)])
+        file_out = capsys.readouterr().out
+        rc_store = main([
+            "regress", str(run_dir / "obsv.sqlite"), str(baseline)
+        ])
+        store_out = capsys.readouterr().out
+        assert (rc_store, store_out) == (rc_file, file_out)
+        assert rc_store == 1  # 100s vs 30s baseline is a breach

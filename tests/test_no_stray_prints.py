@@ -1,0 +1,42 @@
+"""Library code must use the structured telemetry logger, not ``print``.
+
+``src/repro`` is a library: anything it wants to tell an operator goes
+through :mod:`repro.telemetry.log` (machine-parseable, level-filtered,
+redirectable), and the few legitimately human-facing surfaces (the obsv
+CLI renderers, experiment tables) write to ``sys.stdout`` explicitly.
+Example scripts under ``examples/`` are exempt — printing is their job.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.telemetry
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: CLI output surfaces allowed to talk to the terminal directly. They
+#: still must not use print() — sys.stdout.write keeps them explicit —
+#: but are listed here so a future, deliberate exemption is one edit.
+ALLOWED: frozenset[str] = frozenset()
+
+_PRINT = re.compile(r"(?<![\w.\"'])print\(")
+
+
+def test_no_print_calls_in_library_code():
+    assert SRC.is_dir(), SRC
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel in ALLOWED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if _PRINT.search(line):
+                offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "print() in library code — use repro.telemetry.log instead:\n"
+        + "\n".join(offenders)
+    )
