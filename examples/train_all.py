@@ -19,6 +19,12 @@ Run:  python examples/train_all.py [--fast] [--sac] [--health N]
   --health  emit an ``update_health`` trace record every N SAC updates so
             ``python -m repro.obsv watch $REPRO_TRACE`` can monitor the
             run live (needs REPRO_TRACE pointing at a JSONL file)
+  --checkpoint-every N
+            snapshot resumable SAC training state every N env steps
+            (rotated, keep-last-3 per stage; 0 = off)
+  --checkpoint-dir  where snapshots go (default: <out>/checkpoints)
+  --resume  continue each SAC stage from its newest snapshot; a run
+            killed mid-stage picks up where it left off, bit-identically
 """
 
 from __future__ import annotations
@@ -53,14 +59,39 @@ def main() -> None:
         help="emit update_health trace records every N SAC updates"
              " (watch-compatible; 0 = off)",
     )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="snapshot resumable SAC state every N env steps (0 = off)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="snapshot directory (default: <out>/checkpoints)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume each SAC stage from its newest snapshot",
+    )
     args = parser.parse_args()
 
     out = Path(args.out) if args.out else registry.artifacts_dir()
     out.mkdir(parents=True, exist_ok=True)
+    ckpt_base = Path(args.checkpoint_dir) if args.checkpoint_dir else (
+        out / "checkpoints"
+    )
     started = time.time()
 
     def stamp(label: str) -> None:
         print(f"[{time.time() - started:7.1f}s] {label}", flush=True)
+
+    def crash_safety(sac_cfg, stage: str) -> None:
+        """Point one SAC stage's snapshots at its own subdirectory.
+
+        Stages 2 and 3 share a loop label (``sac-attack``), so the
+        per-stage directory is what keeps their snapshots apart.
+        """
+        sac_cfg.checkpoint_every = args.checkpoint_every
+        sac_cfg.checkpoint_dir = str(ckpt_base / stage)
+        sac_cfg.resume = args.resume
 
     # 1. End-to-end driver.
     stamp("training end-to-end driver (BC from modular expert)")
@@ -69,6 +100,7 @@ def main() -> None:
         sac_steps=(500 if args.fast else 8_000) if args.sac else 0,
     )
     driver_cfg.sac.health_every = args.health
+    crash_safety(driver_cfg.sac, "driver")
     driver, driver_metrics = train_driver(driver_cfg, progress=True)
     driver.save(out / registry.E2E_DRIVER, {"metrics": driver_metrics})
     stamp(f"driver: {driver_metrics}")
@@ -87,6 +119,7 @@ def main() -> None:
         eval_episodes=3 if args.fast else 8,
     )
     attack_cfg.sac.health_every = args.health
+    crash_safety(attack_cfg.sac, "camera-e2e")
     camera, camera_metrics = train_camera_attacker(
         e2e_victim, attack_cfg, progress=True
     )
@@ -95,6 +128,7 @@ def main() -> None:
 
     # 3. Camera attacker vs. modular pipeline.
     stamp("training camera attacker vs modular pipeline")
+    crash_safety(attack_cfg.sac, "camera-modular")
     camera_mod, camera_mod_metrics = train_camera_attacker(
         modular_victim, attack_cfg, progress=True
     )
@@ -105,6 +139,7 @@ def main() -> None:
 
     # 4. IMU attacker (learning-from-teacher).
     stamp("training IMU attacker (learning-from-teacher)")
+    crash_safety(attack_cfg.sac, "imu")
     imu, imu_metrics = train_imu_attacker(
         camera, e2e_victim, attack_cfg, progress=True
     )

@@ -26,6 +26,7 @@ from repro.agents.e2e.env import DrivingEnv, SteerInjector
 from repro.agents.e2e.observation import DrivingObservation
 from repro.agents.modular.agent import ModularAgent
 from repro.rl.bc import BcConfig, BehaviorCloner
+from repro.rl.checkpoint import SacLoopGuard
 from repro.rl.health import HealthEmitter
 from repro.rl.policy import SquashedGaussianPolicy
 from repro.rl.sac import Sac, SacConfig
@@ -179,6 +180,7 @@ def refine_driver_sac(
     progress: bool = False,
     trace: TraceWriter | None = None,
     loop_label: str = "sac-driver",
+    scenario: ScenarioConfig | None = None,
 ) -> tuple[SquashedGaussianPolicy, dict[str, float]]:
     """SAC refinement of a warm-started policy on the shaped reward.
 
@@ -189,17 +191,31 @@ def refine_driver_sac(
     ``train_step`` event per environment step, plus ``update_health``
     records when ``config.sac.health_every`` (or ``REPRO_HEALTH_EVERY``)
     is set.
+
+    Crash-safe: episode boundaries (reset deferred to the next
+    iteration) snapshot a resumable
+    :class:`~repro.rl.checkpoint.TrainState` when
+    ``config.sac.checkpoint_every`` is set, and ``config.sac.resume``
+    continues bit-identically from the newest snapshot.
     """
     trace = trace if trace is not None else default_writer()
-    env = DrivingEnv(rng=rng, injector=injector)
+    env = DrivingEnv(scenario=scenario, rng=rng, injector=injector)
     sac = Sac(
         env.observation_dim, env.action_dim, config.sac, rng=rng, actor=policy
     )
     health = HealthEmitter(trace, loop_label, every=config.sac.health_every)
-    obs = env.reset()
+    guard = SacLoopGuard(sac, loop_label, rng, trace=trace)
+    start = guard.start()
+    env._episode = guard.env_episode
+    obs = None
     episode_return = 0.0
     with span("train.driver_sac"):
-        for step in range(config.sac_steps):
+        for step in range(start, config.sac_steps):
+            guard.on_step(step)
+            if obs is None:  # episode boundary: snapshot, then reset
+                guard.at_boundary(step, env._episode, env._episode)
+                obs = env.reset()
+                episode_return = 0.0
             action = sac.act(obs)
             next_obs, reward, done, info = env.step(action)
             sac.observe(
@@ -220,18 +236,21 @@ def refine_driver_sac(
                         episode=env._episode,
                         episode_return=episode_return,
                     )
-                obs = env.reset()
-                episode_return = 0.0
+                obs = None
             if step % config.sac.update_every == 0 and len(sac.replay) >= (
                 config.sac.batch_size
             ):
                 stats = sac.update()
                 health.after_update(sac, step, stats)
+                guard.after_update(step, stats)
+    guard.finish(config.sac_steps, env._episode, env._episode)
     if trace is not None:
         trace.flush()
 
     agent = EndToEndAgent(policy, observation=DrivingObservation())
-    metrics = evaluate_driver(agent, config.eval_episodes, seed=10_000)
+    metrics = evaluate_driver(
+        agent, config.eval_episodes, seed=10_000, scenario=scenario
+    )
     (log.info if progress else log.debug)(
         "sac.eval", loop=loop_label, **metrics
     )

@@ -28,6 +28,7 @@ from repro.core.observations import CameraAttackObservation, ImuAttackObservatio
 from repro.eval.episodes import run_episodes
 from repro.eval.metrics import success_rate
 from repro.rl.bc import BcConfig, BehaviorCloner
+from repro.rl.checkpoint import SacLoopGuard
 from repro.rl.health import HealthEmitter
 from repro.rl.policy import SquashedGaussianPolicy
 from repro.rl.sac import Sac, SacConfig
@@ -188,15 +189,30 @@ def _sac_refine(
     trace: TraceWriter | None = None,
     loop_label: str = "sac-attack",
 ) -> None:
-    """In-place SAC refinement of an attack policy in ``env``."""
+    """In-place SAC refinement of an attack policy in ``env``.
+
+    Crash-safe: the loop defers ``env.reset`` to the top of the next
+    iteration so episode boundaries are pure learner state, snapshots
+    resumable :class:`~repro.rl.checkpoint.TrainState` checkpoints there
+    when ``config.sac.checkpoint_every`` (or ``REPRO_CHECKPOINT_EVERY``)
+    is set, and resumes bit-identically when ``config.sac.resume`` (or
+    ``REPRO_RESUME``) finds one.
+    """
     trace = trace if trace is not None else default_writer()
     sac = Sac(env.observation_dim, env.action_dim, config.sac, rng=rng,
               actor=policy)
     health = HealthEmitter(trace, loop_label, every=config.sac.health_every)
-    obs = env.reset()
-    episode_return, episode = 0.0, 0
+    guard = SacLoopGuard(sac, loop_label, rng, trace=trace)
+    start = guard.start()
+    obs = None
+    episode_return, episode = 0.0, guard.episode
     with span("train.sac_refine"):
-        for step in range(config.sac_steps):
+        for step in range(start, config.sac_steps):
+            guard.on_step(step)
+            if obs is None:  # episode boundary: snapshot, then reset
+                guard.at_boundary(step, episode)
+                obs = env.reset()
+                episode_return = 0.0
             action = sac.act(obs)
             next_obs, reward, done, info = env.step(action)
             sac.observe(obs, action, reward, next_obs,
@@ -215,13 +231,14 @@ def _sac_refine(
                         "sac.episode", loop=loop_label, step=step,
                         episode=episode, episode_return=episode_return,
                     )
-                obs = env.reset()
-                episode_return = 0.0
+                obs = None
             if step % config.sac.update_every == 0 and len(sac.replay) >= (
                 config.sac.batch_size
             ):
                 stats = sac.update()
                 health.after_update(sac, step, stats)
+                guard.after_update(step, stats)
+    guard.finish(config.sac_steps, episode)
     if trace is not None:
         trace.flush()
 

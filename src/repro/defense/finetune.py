@@ -154,6 +154,7 @@ def adversarial_finetune_sac(
     config: FinetuneConfig | None = None,
     sac_config: DriverTrainConfig | None = None,
     progress: bool = False,
+    scenario: ScenarioConfig | None = None,
 ) -> EndToEndAgent:
     """The paper's literal method: SAC fine-tuning with attacks injected."""
     config = config or FinetuneConfig()
@@ -168,7 +169,7 @@ def adversarial_finetune_sac(
     policy.load_state_dict(base.policy.state_dict())
     refined, _metrics = refine_driver_sac(
         policy, sac_config, rng, injector=randomized, progress=progress,
-        loop_label="sac-finetune",
+        loop_label="sac-finetune", scenario=scenario,
     )
     agent = EndToEndAgent(refined, observation=DrivingObservation())
     agent.name = f"adv-finetuned-sac(rho={config.rho:.2f})"

@@ -16,6 +16,9 @@ Subcommands:
 * ``query <store>`` — filter/aggregate stored events, export CSV.
 * ``watch <trace.jsonl>`` — tail a growing training trace, render a live
   terminal view, and fire watchdog alerts (``--exit-on-alert`` for CI).
+* ``verify-artifacts [dir]`` — audit every ``.npz`` checkpoint under a
+  directory (default ``artifacts/``) with checksum/load validation;
+  exits 1 on corruption.
 """
 
 from __future__ import annotations
@@ -198,6 +201,49 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_verify_artifacts(args) -> int:
+    from repro.utils.serialization import (
+        load_checkpoint,
+        save_checkpoint,
+        verify_checkpoint,
+    )
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        raise SystemExit(f"not a directory: {root}")
+    targets = sorted(root.rglob("*.npz"))
+    if not targets:
+        sys.stdout.write(f"no .npz checkpoints under {root}\n")
+        return 0
+    corrupt = 0
+    legacy = 0
+    lines = []
+    for path in targets:
+        report = verify_checkpoint(path)
+        if not report.ok:
+            corrupt += 1
+        elif report.legacy:
+            legacy += 1
+            if args.upgrade:
+                arrays, meta = load_checkpoint(path)
+                save_checkpoint(path, arrays, meta)
+                lines.append(f"{path}: legacy -> upgraded to checksummed")
+                continue
+        detail = f" ({report.reason})" if report.reason else ""
+        lines.append(
+            f"{path}: {report.status} "
+            f"[{report.arrays} arrays, {report.size} bytes]{detail}"
+        )
+    lines.append(
+        f"{len(targets)} checkpoint(s): {len(targets) - corrupt - legacy} ok,"
+        f" {legacy} legacy, {corrupt} corrupt"
+    )
+    _emit("\n".join(lines) + "\n", args.out)
+    if corrupt:
+        return 1
+    return 1 if (args.strict and legacy and not args.upgrade) else 0
+
+
 def _cmd_watch(args) -> int:
     config = WatchConfig.from_env(
         q_limit=args.q_limit,
@@ -321,6 +367,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the CSV to PATH (needs --field)",
     )
     quer.set_defaults(fn=_cmd_query)
+
+    ver = sub.add_parser(
+        "verify-artifacts",
+        help="audit .npz checkpoints for corruption (exit 1 on any)",
+    )
+    ver.add_argument(
+        "dir", nargs="?", default="artifacts",
+        help="directory to scan recursively (default artifacts/)",
+    )
+    ver.add_argument(
+        "--strict", action="store_true",
+        help="also fail on legacy (pre-checksum) checkpoints",
+    )
+    ver.add_argument(
+        "--upgrade", action="store_true",
+        help="re-save loadable legacy checkpoints with checksums",
+    )
+    ver.add_argument("--out", help="write the report to this file")
+    ver.set_defaults(fn=_cmd_verify_artifacts)
 
     wat = sub.add_parser(
         "watch", help="live-monitor a growing training trace"

@@ -31,12 +31,16 @@ import csv
 import io
 import json
 import sqlite3
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.obsv.loader import EpisodeTrace, split_episodes
+from repro.telemetry.log import get_logger
 from repro.telemetry.trace import read_trace, validate_event
+
+log = get_logger("obsv.store")
 
 #: Default store filename inside an ingested run directory.
 DEFAULT_STORE_NAME = "obsv.sqlite"
@@ -111,10 +115,33 @@ def is_store_path(path: str | Path) -> bool:
 class TelemetryStore:
     """Queryable SQLite mirror of trace files and telemetry snapshots."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        lock_retries: int = 5,
+        lock_backoff: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Open (or create) a store.
+
+        Writes run in explicit ``BEGIN IMMEDIATE`` transactions and retry
+        ``database is locked`` errors up to ``lock_retries`` times with
+        exponential backoff starting at ``lock_backoff`` seconds, so a
+        live ``obsv watch`` and a concurrent ``obsv ingest`` sharing one
+        store contend instead of crashing. ``sleep`` is injectable for
+        tests.
+        """
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(self.path))
+        self._lock_retries = max(int(lock_retries), 0)
+        self._lock_backoff = float(lock_backoff)
+        self._sleep = sleep
+        # Autocommit mode: _write issues its own BEGIN IMMEDIATE, and the
+        # small native timeout keeps per-statement waits short so the
+        # Python-level backoff governs contention.
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=0.25, isolation_level=None
+        )
         self._conn.executescript(_DDL)
         existing = self.get_meta("schema_version")
         if existing is None:
@@ -138,6 +165,53 @@ class TelemetryStore:
     def close(self) -> None:
         self._conn.close()
 
+    # -- write path ---------------------------------------------------------------
+
+    @staticmethod
+    def _is_locked(error: sqlite3.OperationalError) -> bool:
+        return "locked" in str(error) or "busy" in str(error)
+
+    def _write(self, txn: Callable[[sqlite3.Connection], object]) -> object:
+        """Run ``txn(conn)`` atomically, retrying lock contention.
+
+        ``BEGIN IMMEDIATE`` takes the write lock up front, so the
+        transaction either starts with the lock held or fails fast here
+        — never half-way through ``txn``. Lock errors back off
+        exponentially (``lock_backoff * 2^attempt``) up to
+        ``lock_retries`` times before propagating.
+        """
+        delay = self._lock_backoff
+        for attempt in range(self._lock_retries + 1):
+            retriable = attempt < self._lock_retries
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+            except sqlite3.OperationalError as error:
+                if not self._is_locked(error) or not retriable:
+                    raise
+            else:
+                try:
+                    result = txn(self._conn)
+                    self._conn.execute("COMMIT")
+                    return result
+                except BaseException as error:
+                    try:
+                        self._conn.execute("ROLLBACK")
+                    except sqlite3.OperationalError:
+                        pass
+                    if not (
+                        isinstance(error, sqlite3.OperationalError)
+                        and self._is_locked(error)
+                        and retriable
+                    ):
+                        raise
+            log.warning(
+                "store.locked_retry", path=str(self.path),
+                attempt=attempt + 1, delay_s=delay,
+            )
+            self._sleep(delay)
+            delay *= 2
+        raise AssertionError("unreachable")  # loop always returns or raises
+
     def __enter__(self) -> "TelemetryStore":
         return self
 
@@ -148,12 +222,13 @@ class TelemetryStore:
     # -- meta ---------------------------------------------------------------------
 
     def set_meta(self, key: str, value: str) -> None:
-        with self._conn:
-            self._conn.execute(
+        self._write(
+            lambda conn: conn.execute(
                 "INSERT INTO meta (key, value) VALUES (?, ?) "
                 "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
                 (key, str(value)),
             )
+        )
 
     def get_meta(self, key: str) -> str | None:
         row = self._conn.execute(
@@ -192,21 +267,22 @@ class TelemetryStore:
         ):
             return existing
         events = [e for e in read_trace(path) if not validate_event(e)]
-        with self._conn:
+
+        def txn(conn: sqlite3.Connection) -> int:
             if existing is not None:
-                self._conn.execute(
+                conn.execute(
                     "DELETE FROM events WHERE run_id = ?", (existing.run_id,)
                 )
-                self._conn.execute(
+                conn.execute(
                     "DELETE FROM runs WHERE run_id = ?", (existing.run_id,)
                 )
-            cursor = self._conn.execute(
+            cursor = conn.execute(
                 "INSERT INTO runs (source, kind, mtime, size, events) "
                 "VALUES (?, 'trace', ?, ?, ?)",
                 (str(path), mtime, size, len(events)),
             )
             run_id = cursor.lastrowid
-            self._conn.executemany(
+            conn.executemany(
                 "INSERT INTO events "
                 "(run_id, seq, kind, episode, loop, step, tick, t, payload) "
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
@@ -227,6 +303,9 @@ class TelemetryStore:
                     for seq, event in enumerate(events)
                 ),
             )
+            return run_id
+
+        run_id = self._write(txn)
         return RunInfo(run_id, str(path), "trace", len(events), mtime, size)
 
     def ingest_snapshot(
@@ -239,23 +318,27 @@ class TelemetryStore:
         payload = path.read_text(encoding="utf-8")
         json.loads(payload)  # refuse to store non-JSON
         existing = self._existing_run(str(path))
-        with self._conn:
+
+        def txn(conn: sqlite3.Connection) -> int:
             if existing is not None:
-                self._conn.execute(
+                conn.execute(
                     "DELETE FROM runs WHERE run_id = ?", (existing.run_id,)
                 )
-            cursor = self._conn.execute(
+            cursor = conn.execute(
                 "INSERT INTO runs (source, kind, mtime, size, events) "
                 "VALUES (?, 'snapshot', ?, ?, 0)",
                 (str(path), mtime, size),
             )
-            self._conn.execute(
+            conn.execute(
                 "INSERT INTO snapshots (name, source, payload) VALUES (?, ?, ?) "
                 "ON CONFLICT(name) DO UPDATE SET "
                 "source = excluded.source, payload = excluded.payload",
                 (name, str(path), payload),
             )
-        return RunInfo(cursor.lastrowid, str(path), "snapshot", 0, mtime, size)
+            return cursor.lastrowid
+
+        run_id = self._write(txn)
+        return RunInfo(run_id, str(path), "snapshot", 0, mtime, size)
 
     def ingest_dir(
         self, directory: str | Path, pattern: str = "*.jsonl"

@@ -24,6 +24,19 @@ class Optimizer:
         raise NotImplementedError
 
 
+def _load_slots(
+    name: str, slots: list[np.ndarray], state: dict[str, np.ndarray], key: str
+) -> None:
+    for i, slot in enumerate(slots):
+        value = state[f"{key}_{i}"]
+        if value.shape != slot.shape:
+            raise ValueError(
+                f"{name} state {key}_{i} has shape {value.shape}, "
+                f"expected {slot.shape}"
+            )
+        slot[...] = value
+
+
 class Sgd(Optimizer):
     """Plain stochastic gradient descent with optional momentum."""
 
@@ -41,6 +54,15 @@ class Sgd(Optimizer):
             velocity *= self.momentum
             velocity -= self.lr * param.grad
             param.data += velocity
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Momentum slots, keyed by parameter index (the order is fixed)."""
+        return {
+            f"velocity_{i}": v.copy() for i, v in enumerate(self._velocity)
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        _load_slots("Sgd", self._velocity, state, "velocity")
 
 
 class Adam(Optimizer):
@@ -79,6 +101,18 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Moment estimates and step count, keyed by parameter index."""
+        state = {f"m_{i}": m.copy() for i, m in enumerate(self._m)}
+        state.update({f"v_{i}": v.copy() for i, v in enumerate(self._v)})
+        state["t"] = np.asarray(self._t, dtype=np.int64)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        _load_slots("Adam", self._m, state, "m")
+        _load_slots("Adam", self._v, state, "v")
+        self._t = int(state["t"])
 
     def _clip_grads(self) -> None:
         total = 0.0

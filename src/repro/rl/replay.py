@@ -50,6 +50,41 @@ class ReplayBuffer:
     def __len__(self) -> int:
         return self._size
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Stored transitions plus write cursor, trimmed to live size.
+
+        Only the first ``len(self)`` rows are persisted — for a buffer
+        that never filled, that keeps checkpoints proportional to the
+        experience actually collected, not the capacity.
+        """
+        n = self._size
+        return {
+            "obs": self.obs[:n].copy(),
+            "actions": self.actions[:n].copy(),
+            "rewards": self.rewards[:n].copy(),
+            "next_obs": self.next_obs[:n].copy(),
+            "dones": self.dones[:n].copy(),
+            "index": np.asarray(self._index, dtype=np.int64),
+            "size": np.asarray(n, dtype=np.int64),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        n = int(state["size"])
+        if n > self.capacity:
+            raise ValueError(
+                f"checkpointed buffer holds {n} transitions but capacity "
+                f"is {self.capacity}"
+            )
+        if state["obs"].shape[1:] != self.obs.shape[1:]:
+            raise ValueError(
+                f"checkpointed obs dim {state['obs'].shape[1:]} does not "
+                f"match buffer {self.obs.shape[1:]}"
+            )
+        for name in ("obs", "actions", "rewards", "next_obs", "dones"):
+            getattr(self, name)[:n] = state[name][:n]
+        self._index = int(state["index"])
+        self._size = n
+
     def sample(
         self, batch_size: int, rng: np.random.Generator
     ) -> dict[str, np.ndarray]:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults
 from repro.rl.nn.autograd import Tensor, minimum
 from repro.rl.nn.optim import Adam
 from repro.rl.policy import QNetwork, SquashedGaussianPolicy
@@ -52,6 +53,23 @@ class SacConfig:
     #: Emit one ``update_health`` trace record every this many gradient
     #: updates (0 = disabled; ``REPRO_HEALTH_EVERY`` overrides 0).
     health_every: int = 0
+    #: Snapshot resumable training state every this many environment
+    #: steps (0 = disabled; ``REPRO_CHECKPOINT_EVERY`` overrides 0).
+    #: Snapshots land at the first episode boundary at or after the
+    #: due step, where the loop state is fully serializable.
+    checkpoint_every: int = 0
+    #: Directory for training snapshots (``REPRO_CHECKPOINT_DIR``
+    #: overrides None); the loop label is appended as a subdirectory.
+    checkpoint_dir: str | None = None
+    #: Keep the newest K periodic snapshots (``REPRO_CHECKPOINT_KEEP``).
+    checkpoint_keep: int = 3
+    #: Resume from the latest snapshot in the checkpoint directory
+    #: (``REPRO_RESUME``). With no snapshot present, train from scratch.
+    resume: bool = False
+    #: On a critical watchdog alert (``nan_loss``/``q_divergence``),
+    #: snapshot and raise ``TrainingHalted`` instead of training on
+    #: (``REPRO_HALT_ON_ALERT``).
+    halt_on_alert: bool = False
 
 
 class Sac:
@@ -208,6 +226,9 @@ class Sac:
         ).mean()
         self.critic_opt.zero_grad()
         critic_loss.backward()
+        plan = faults.active_plan()
+        if plan is not None:
+            plan.on_gradients("critic", self.critic_opt.params, self.total_updates)
         critic_grad_norm = self._grad_norm(self.critic_opt.params)
         self.critic_opt.step()
 

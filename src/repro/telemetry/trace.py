@@ -260,14 +260,37 @@ class TraceWriter:
         return False
 
 
-def read_trace(path: str | Path) -> list[dict]:
-    """Decode a JSONL trace file into a list of event dicts."""
+def read_trace(path: str | Path, strict: bool = False) -> list[dict]:
+    """Decode a JSONL trace file into a list of event dicts.
+
+    Undecodable lines — the torn trailing line a crash mid-append leaves
+    behind, or any other garbage — are skipped with a warning and counted
+    in the ``trace_torn_lines_total`` metric, so post-mortem tooling can
+    read the trace of the very crash it is investigating. ``strict=True``
+    restores the raise-on-garbage behaviour.
+    """
+    from repro.telemetry.log import get_logger
+    from repro.telemetry.metrics import get_registry
+
     events = []
+    skipped = 0
     with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                if strict:
+                    raise
+                skipped += 1
+                get_logger("telemetry.trace").warning(
+                    "trace.torn_line", path=str(path), line=lineno,
+                    error=str(error),
+                )
+    if skipped:
+        get_registry().counter("trace_torn_lines_total").inc(skipped)
     return events
 
 

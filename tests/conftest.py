@@ -1,9 +1,31 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures and the chaos-suite gate."""
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.sim import Road, RoadConfig, ScenarioConfig, make_world
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep chaos tests out of the default (tier-1) run.
+
+    They spawn subprocesses, SIGKILL them, and corrupt files on purpose
+    — opt in with ``REPRO_CHAOS=1`` or an explicit ``-m chaos``.
+    """
+    if os.environ.get("REPRO_CHAOS", "").strip().lower() in (
+        "1", "true", "yes", "on"
+    ):
+        return
+    if "chaos" in (config.getoption("-m") or ""):
+        return
+    skip = pytest.mark.skip(
+        reason="chaos suite (set REPRO_CHAOS=1 or pass -m chaos)"
+    )
+    for item in items:
+        if "chaos" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,39 @@
+"""Library code must write checkpoints through ``repro.utils.serialization``.
+
+:func:`repro.utils.serialization.save_checkpoint` is the only writer
+that guarantees atomic replace, fsync durability, and an embedded
+content checksum. A stray ``np.savez`` or ``open(..., "wb")`` elsewhere
+in ``src/repro`` would reintroduce the torn-checkpoint failure mode this
+module exists to close, so this guard keeps the write path singular.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: The one sanctioned checkpoint writer.
+ALLOWED: frozenset[str] = frozenset({"utils/serialization.py"})
+
+_RAW_WRITE = re.compile(
+    r"np\.savez(_compressed)?\s*\(|open\([^)]*[\"']wb[\"']"
+)
+
+
+def test_checkpoints_only_written_via_serialization_module():
+    assert SRC.is_dir(), SRC
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel in ALLOWED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if _RAW_WRITE.search(line):
+                offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "raw binary/npz write in library code — route it through "
+        "repro.utils.serialization.save_checkpoint (atomic, checksummed):\n"
+        + "\n".join(offenders)
+    )

@@ -1,0 +1,133 @@
+"""Tests for the deterministic fault-injection plans (non-chaos).
+
+These cover spec parsing and the in-process hooks (``raise``,
+``nan_grads``, ``enospc``); the real-crash flavours (SIGKILL a training
+subprocess, truncate its checkpoint) live in the chaos suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.faults import (
+    Fault,
+    FaultInjected,
+    FaultSpecError,
+    parse_plan,
+    seeded_step,
+    truncate_tail,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.reset_active_plan()
+    yield
+    faults.reset_active_plan()
+
+
+class TestParsePlan:
+    def test_kill_spec(self):
+        plan = parse_plan("kill@step=120")
+        assert plan.faults == (Fault(kind="kill", at=120),)
+
+    def test_loop_scoping_and_multiple_faults(self):
+        plan = parse_plan("raise@step=5,loop=sac-driver;enospc@save=2,count=3")
+        assert plan.faults[0] == Fault(kind="raise", at=5, loop="sac-driver")
+        assert plan.faults[1] == Fault(kind="enospc", at=2, count=3)
+
+    def test_empty_spec_is_empty_plan(self):
+        assert parse_plan("  ;  ").faults == ()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode@step=1",          # unknown kind
+            "kill@frame=1",            # missing step=
+            "kill@step=abc",           # non-integer
+            "kill@step=1,extra=2",     # unknown field
+            "kill@step",               # not key=value
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            parse_plan(spec)
+
+
+class TestHooks:
+    def test_raise_fires_once_at_exact_step(self):
+        plan = parse_plan("raise@step=3")
+        for step in range(3):
+            plan.on_train_step("any", step)
+        with pytest.raises(FaultInjected):
+            plan.on_train_step("any", 3)
+        plan.on_train_step("any", 3)  # already fired: no re-raise
+
+    def test_raise_respects_loop_filter(self):
+        plan = parse_plan("raise@step=1,loop=sac-driver")
+        plan.on_train_step("sac-attack", 1)  # other loop: untouched
+        with pytest.raises(FaultInjected):
+            plan.on_train_step("sac-driver", 1)
+
+    def test_nan_grads_poisons_parameters(self):
+        class Param:
+            def __init__(self):
+                self.grad = np.ones(3)
+
+        plan = parse_plan("nan_grads@update=2")
+        params = [Param(), Param()]
+        plan.on_gradients("critic", params, 1)
+        assert np.isfinite(params[0].grad).all()
+        plan.on_gradients("critic", params, 2)
+        assert np.isnan(params[0].grad).all()
+        assert np.isnan(params[1].grad).all()
+
+    def test_enospc_window(self, tmp_path):
+        plan = parse_plan("enospc@save=1,count=2")
+        plan.on_checkpoint_write(tmp_path / "a.npz")  # save 0: fine
+        for _ in range(2):  # saves 1 and 2: full disk
+            with pytest.raises(OSError, match="space"):
+                plan.on_checkpoint_write(tmp_path / "b.npz")
+        plan.on_checkpoint_write(tmp_path / "c.npz")  # save 3: fine again
+
+
+class TestActivePlan:
+    def test_no_env_means_no_plan(self):
+        assert faults.active_plan() is None
+
+    def test_env_arms_and_reset_disarms(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@step=0")
+        faults.reset_active_plan()
+        plan = faults.active_plan()
+        assert plan is not None
+        assert faults.active_plan() is plan  # cached
+        monkeypatch.delenv("REPRO_FAULTS")
+        faults.reset_active_plan()
+        assert faults.active_plan() is None
+
+    def test_env_change_reparses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@step=0")
+        faults.reset_active_plan()
+        first = faults.active_plan()
+        monkeypatch.setenv("REPRO_FAULTS", "raise@step=9")
+        second = faults.active_plan()
+        assert second is not first
+        assert second.faults[0].at == 9
+
+
+class TestHelpers:
+    def test_truncate_tail(self, tmp_path):
+        target = tmp_path / "f.bin"
+        target.write_bytes(b"x" * 1000)
+        truncate_tail(target, drop_bytes=300)
+        assert target.stat().st_size == 700
+        truncate_tail(target, drop_bytes=10_000)
+        assert target.stat().st_size == 0
+
+    def test_seeded_step_deterministic_and_in_range(self):
+        a = seeded_step(7, 10, 50)
+        assert a == seeded_step(7, 10, 50)
+        assert 10 <= a < 50
+        with pytest.raises(ValueError):
+            seeded_step(0, 5, 5)
