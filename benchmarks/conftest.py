@@ -16,17 +16,26 @@ Telemetry artifact — ``BENCH_telemetry.json``
     root so successive PRs have a trajectory to compare against. Layout::
 
         {
-          "schema": 1,
+          "schema": 2,
           "wall_clock_s": <total session seconds>,
           "python": "...", "numpy": "...", "platform": "...",
-          "spans":   {"<span path>": {count, total_s, mean_us, p50_us,
+          "spans":   {"<span path>": {count, total_s, self_total_s,
+                                      mean_us, self_mean_us, p50_us,
                                       p90_us, p99_us, min_us, max_us}, ...},
           "metrics": {"counters": {...}, "gauges": {...},
-                      "histograms": {...}}   # repro.telemetry snapshot
+                      "histograms": {...}},  # repro.telemetry snapshot
+          "profile": {...}   # only under REPRO_PROF: FLOP counters,
+                             # per-span MFLOP/s, tracemalloc figures
         }
 
     Span paths follow :mod:`repro.telemetry.spans` nesting (e.g.
     ``episode/world.tick``); durations are wall-clock microseconds.
+    Schema 2 adds the exact self-time fields (inclusive minus direct
+    children, from the tracer's child bookkeeping) that ``repro.obsv
+    profile`` and the ``regress`` self-time budget gates consume, plus
+    the optional ``profile`` section mirrored from the env-installed
+    profiling session (:mod:`repro.obsv.prof`) when ``REPRO_PROF`` is
+    set for the bench run.
 
     On teardown the fresh snapshot is diffed against a baseline (same
     thresholds as ``python -m repro.obsv regress``); breaches are printed
@@ -87,7 +96,7 @@ def bench_telemetry(request):
     started = time.perf_counter()
     yield
     payload = {
-        "schema": 1,
+        "schema": 2,
         "wall_clock_s": round(time.perf_counter() - started, 3),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
@@ -95,6 +104,11 @@ def bench_telemetry(request):
         "spans": tracer.snapshot(),
         "metrics": get_registry().snapshot(),
     }
+    from repro.obsv.prof import env_session
+
+    profiling = env_session()
+    if profiling is not None and profiling.running:
+        payload["profile"] = profiling.peek()
     out = Path(str(request.config.rootpath)) / "BENCH_telemetry.json"
     out.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"

@@ -12,4 +12,19 @@ Subpackages:
     experiments: drivers regenerating every figure in the evaluation.
 """
 
+import os as _os
+
 __version__ = "1.0.0"
+
+# REPRO_PROF opts the whole process into the profiling layer
+# (repro.obsv.prof): span self-time, optional stack sampling and
+# allocation tracking, FLOP accounting, with the PROFILE_* report bundle
+# written at interpreter exit. One env check when unset — nothing is
+# imported and nothing runs.
+if _os.environ.get("REPRO_PROF", "").strip().lower() not in (
+    "", "0", "false", "no", "off"
+):
+    from repro.obsv.prof import install_from_env as _install_prof
+
+    _install_prof()
+

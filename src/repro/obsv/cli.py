@@ -10,7 +10,12 @@ Subcommands:
   telemetry into markdown (or ``--html``); accepts either a run
   directory of JSONL traces or an ingested telemetry store.
 * ``regress <current> <baseline>`` — compare bench telemetry snapshots
-  (JSON files or stores holding one); exits 1 on threshold breaches.
+  (JSON files or stores holding one); exits 1 on threshold breaches
+  (``--json`` for the machine-readable breach report).
+* ``profile [snapshot]`` — self-time attribution, FLOP rates, and
+  allocation figures from a profile/bench snapshot (or ``--demo`` for a
+  live in-process workload); ``--flamegraph`` renders the HTML
+  flamegraph, ``--report-dir`` writes the full ``PROFILE_*`` bundle.
 * ``ingest <dir>`` — load a run directory's traces and snapshots into a
   SQLite telemetry store (default ``<dir>/obsv.sqlite``).
 * ``query <store>`` — filter/aggregate stored events, export CSV.
@@ -137,15 +142,113 @@ def _cmd_regress(args) -> int:
     thresholds = regress_mod.RegressionThresholds.from_env()
     if args.max_ratio is not None:
         thresholds = regress_mod.RegressionThresholds(
-            wall_clock_ratio=args.max_ratio, span_mean_ratio=args.max_ratio
+            wall_clock_ratio=args.max_ratio,
+            span_mean_ratio=args.max_ratio,
+            span_self_ratio=args.max_ratio,
         )
     breaches = regress_mod.compare_snapshots(
         _load_bench_snapshot(args.current),
         _load_bench_snapshot(args.baseline),
         thresholds,
     )
-    sys.stdout.write(regress_mod.report(breaches))
+    if args.json:
+        sys.stdout.write(regress_mod.report_json(breaches))
+    else:
+        sys.stdout.write(regress_mod.report(breaches))
     return 1 if breaches else 0
+
+
+def _profile_demo(args):
+    """Run a short nominal workload in-process under a profile session.
+
+    Uses the shipped end-to-end driver when its checkpoint exists, else
+    the training-free modular pipeline, so the demo works on a fresh
+    clone before ``examples/train_all.py``.
+    """
+    from repro.eval.episodes import run_episode
+    from repro.experiments import registry
+    from repro.obsv.prof import ProfileConfig, ProfileSession
+    from repro.obsv.prof.memory import parse_mem_spec
+
+    if registry.has_artifact(registry.E2E_DRIVER):
+        victim_factory, victim = registry.e2e_victim, "e2e"
+    else:
+        victim_factory, victim = registry.modular_victim, "modular"
+    config = ProfileConfig(
+        hz=args.hz, mem=parse_mem_spec(args.mem), flops=True
+    )
+    session = ProfileSession(config, reset=True).start()
+    for seed in range(args.episodes):
+        run_episode(victim_factory, seed=seed)
+    report = session.stop()
+    log.info(
+        "obsv.profile.demo", victim=victim, episodes=args.episodes,
+        wall_clock_s=round(report.wall_clock_s, 3),
+    )
+    return report
+
+
+def _profile_from_snapshot(path: str):
+    """A report reconstructed from profiling/bench output on disk.
+
+    Accepts a ``PROFILE_report.json`` bundle, a ``BENCH_telemetry.json``
+    snapshot (schema 1 or 2), or an ingested telemetry store holding one.
+    """
+    from repro.obsv.prof import ProfileReport
+    from repro.obsv.prof.selftime import root_total_s
+
+    snapshot = _load_bench_snapshot(path)
+    if snapshot.get("kind") == "profile":
+        return ProfileReport(
+            wall_clock_s=float(snapshot.get("wall_clock_s", 0.0)),
+            spans=snapshot.get("spans", {}),
+            flops=snapshot.get("flops", {}),
+            span_flops=snapshot.get("span_flops", {}),
+            memory=snapshot.get("memory", {}),
+            sampler=snapshot.get("sampler", {}),
+            folded=snapshot.get("sampler", {}).get("folded", {}),
+            config=snapshot.get("config", {}),
+        )
+    spans = snapshot.get("spans", {})
+    if not spans:
+        raise SystemExit(f"{path}: no span data to profile")
+    profile = snapshot.get("profile", {})
+    return ProfileReport(
+        wall_clock_s=float(
+            snapshot.get("wall_clock_s", 0.0) or root_total_s(spans)
+        ),
+        spans=spans,
+        flops=profile.get("flops", {}),
+        span_flops=profile.get("span_flops", {}),
+        memory=profile.get("memory", {}),
+        sampler=profile.get("sampler", {}),
+    )
+
+
+def _cmd_profile(args) -> int:
+    if args.demo:
+        report = _profile_demo(args)
+    elif args.input:
+        report = _profile_from_snapshot(args.input)
+    else:
+        raise SystemExit("profile needs an input snapshot or --demo")
+    if args.flamegraph:
+        report.flamegraph_html(path=args.flamegraph)
+        log.info("obsv.profile.flamegraph", path=args.flamegraph)
+    if args.report_dir:
+        paths = report.write(args.report_dir)
+        log.info(
+            "obsv.profile.bundle",
+            **{key: str(value) for key, value in paths.items()},
+        )
+    if args.json:
+        _emit(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+            args.out,
+        )
+    else:
+        _emit(report.to_markdown(top=args.top), args.out)
+    return 0
 
 
 def _cmd_ingest(args) -> int:
@@ -168,7 +271,7 @@ def _cmd_query(args) -> int:
     with TelemetryStore(args.store) as store:
         filters = dict(
             kind=args.kind, episode=args.episode, loop=args.loop,
-            run=args.run,
+            run=args.run, name=args.name,
         )
         if args.field and args.agg:
             rows = store.aggregate(
@@ -328,7 +431,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-ratio", type=float, default=None,
         help="wall-clock / span mean ratio treated as a breach",
     )
+    regr.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable breach report",
+    )
     regr.set_defaults(fn=_cmd_regress)
+
+    prof = sub.add_parser(
+        "profile",
+        help="self-time / FLOP / allocation report and flamegraph",
+    )
+    prof.add_argument(
+        "input", nargs="?", default=None,
+        help="PROFILE_report.json, BENCH_telemetry.json, or telemetry"
+             " store to analyse offline",
+    )
+    prof.add_argument(
+        "--demo", action="store_true",
+        help="profile a short in-process episode workload instead of a"
+             " snapshot",
+    )
+    prof.add_argument(
+        "--episodes", type=int, default=3,
+        help="episodes the --demo workload runs (default 3)",
+    )
+    prof.add_argument(
+        "--hz", type=float, default=0.0,
+        help="--demo sampling-profiler rate (0 = spans only; try 97)",
+    )
+    prof.add_argument(
+        "--mem", default=None,
+        help="--demo allocation tracking: span names, or 'all'",
+    )
+    prof.add_argument(
+        "--top", type=int, default=15,
+        help="rows per table in the markdown report (default 15)",
+    )
+    prof.add_argument(
+        "--flamegraph", metavar="PATH",
+        help="also write a self-contained HTML flamegraph to PATH",
+    )
+    prof.add_argument(
+        "--report-dir", metavar="DIR",
+        help="also write the full PROFILE_* bundle into DIR",
+    )
+    prof.add_argument("--json", action="store_true", help="emit JSON")
+    prof.add_argument("--out", help="write to this file instead of stdout")
+    prof.set_defaults(fn=_cmd_profile)
 
     ing = sub.add_parser(
         "ingest", help="load a run directory into a SQLite telemetry store"
@@ -351,6 +500,9 @@ def build_parser() -> argparse.ArgumentParser:
     quer.add_argument("--loop", help="training-loop label filter")
     quer.add_argument("--run", type=int, help="ingested run id filter")
     quer.add_argument(
+        "--name", help="span/profile name filter (e.g. episode/world.tick)"
+    )
+    quer.add_argument(
         "--field", help="numeric event field to extract/aggregate"
     )
     quer.add_argument(
@@ -358,7 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="aggregate the field instead of listing values",
     )
     quer.add_argument(
-        "--group-by", choices=("kind", "episode", "loop", "run"),
+        "--group-by", choices=("kind", "episode", "loop", "run", "name"),
         help="group the aggregate by this key",
     )
     quer.add_argument("--limit", type=int, help="cap returned rows")

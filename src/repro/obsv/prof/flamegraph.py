@@ -1,0 +1,190 @@
+"""Self-contained HTML flamegraph renderer (no external dependencies).
+
+Input is the folded-stack mapping produced by
+:class:`~repro.obsv.prof.sampler.SamplingProfiler` (``"a;b;c" -> count``)
+or, via :func:`spans_to_folded`, the span tracer's call-tree with
+self-time values. The output is one HTML file in the same dependency-free
+idiom as the obsv dashboard: inline CSS, a JSON payload, and a small
+renderer script — open it in any browser, click a frame to zoom, hover
+for exact values.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+
+
+def build_tree(folded: dict[str, float], sep: str = ";") -> dict:
+    """Merge folded stacks into a ``{name, value, children}`` tree.
+
+    Every stack's value is credited to each frame on its path, so a
+    node's ``value`` is inclusive; the root aggregates everything.
+    """
+    root: dict = {"name": "all", "value": 0.0, "children": {}}
+    for stack, value in folded.items():
+        value = float(value)
+        if value <= 0.0 or not stack:
+            continue
+        root["value"] += value
+        node = root
+        for part in stack.split(sep):
+            child = node["children"].get(part)
+            if child is None:
+                child = node["children"][part] = {
+                    "name": part,
+                    "value": 0.0,
+                    "children": {},
+                }
+            child["value"] += value
+            node = child
+    return _finalize(root)
+
+
+def _finalize(node: dict) -> dict:
+    children = sorted(
+        (_finalize(child) for child in node["children"].values()),
+        key=lambda child: -child["value"],
+    )
+    out = {"name": node["name"], "value": round(node["value"], 6)}
+    if children:
+        out["children"] = children
+    return out
+
+
+def spans_to_folded(spans: dict[str, dict]) -> dict[str, float]:
+    """Span snapshot -> folded stacks weighted by *self* time.
+
+    Each span path becomes one stack (``/`` -> ``;``) whose value is the
+    span's self time, so the flamegraph's inclusive widths reproduce the
+    tracer's inclusive totals without double counting.
+    """
+    from repro.obsv.prof import selftime
+
+    return {
+        row.path.replace("/", ";"): row.self_s
+        for row in selftime.attribute(spans)
+        if row.self_s > 0.0
+    }
+
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 1.5rem auto; max-width: 76rem; padding: 0 1rem;
+       color: #1a1a2e; background: #fafaf7; }}
+h1 {{ font-weight: 600; font-size: 1.2rem; }}
+#meta {{ color: #555; font-size: 0.8rem; margin-bottom: 0.8rem; }}
+#graph {{ position: relative; width: 100%; }}
+.frame {{ position: absolute; box-sizing: border-box; height: 17px;
+         border: 1px solid #fafaf7; border-radius: 2px; overflow: hidden;
+         font-size: 11px; line-height: 15px; padding: 0 3px;
+         white-space: nowrap; cursor: pointer; }}
+.frame:hover {{ border-color: #1a1a2e; }}
+#status {{ margin-top: 0.6rem; font-size: 0.8rem; min-height: 1.2em;
+          color: #333; }}
+#reset {{ font-size: 0.8rem; margin-bottom: 0.6rem; display: inline-block;
+         cursor: pointer; color: #3b4a8f; text-decoration: underline; }}
+</style></head><body>
+<h1>{title}</h1>
+<div id="meta">{meta}</div>
+<span id="reset">reset zoom</span>
+<div id="graph"></div>
+<div id="status"></div>
+<script id="data" type="application/json">{payload}</script>
+<script>
+var DATA = JSON.parse(document.getElementById("data").textContent);
+var UNIT = DATA.unit, ROOT = DATA.tree, FOCUS = ROOT;
+var graph = document.getElementById("graph");
+var statusEl = document.getElementById("status");
+
+function color(name) {{
+  var hash = 0;
+  for (var i = 0; i < name.length; i++)
+    hash = (hash * 31 + name.charCodeAt(i)) >>> 0;
+  var hue = 18 + (hash % 42);            /* warm flame band */
+  var sat = 62 + (hash >> 8) % 28;
+  var lum = 58 + (hash >> 16) % 14;
+  return "hsl(" + hue + "," + sat + "%," + lum + "%)";
+}}
+
+function fmtValue(v) {{
+  if (UNIT === "samples") return v + " samples";
+  if (v >= 1) return v.toFixed(3) + " s";
+  if (v >= 1e-3) return (v * 1e3).toFixed(3) + " ms";
+  return (v * 1e6).toFixed(1) + " us";
+}}
+
+function depthOf(node) {{
+  var d = 1, kids = node.children || [];
+  for (var i = 0; i < kids.length; i++)
+    d = Math.max(d, 1 + depthOf(kids[i]));
+  return d;
+}}
+
+function render() {{
+  graph.innerHTML = "";
+  graph.style.height = (depthOf(FOCUS) * 17 + 2) + "px";
+  place(FOCUS, 0, 1, 0);
+}}
+
+function place(node, x, width, depth) {{
+  var el = document.createElement("div");
+  el.className = "frame";
+  el.style.left = (100 * x) + "%";
+  el.style.width = (100 * width) + "%";
+  el.style.top = (depth * 17) + "px";
+  el.style.background = color(node.name);
+  var pct = (100 * node.value / ROOT.value).toFixed(2);
+  el.textContent = node.name;
+  el.title = node.name + " — " + fmtValue(node.value) + " (" + pct + "%)";
+  el.onclick = function (ev) {{
+    ev.stopPropagation();
+    FOCUS = node; render();
+    statusEl.textContent = el.title;
+  }};
+  graph.appendChild(el);
+  var kids = node.children || [];
+  var childX = x;
+  for (var i = 0; i < kids.length; i++) {{
+    var w = width * kids[i].value / node.value;
+    place(kids[i], childX, w, depth + 1);
+    childX += w;
+  }}
+}}
+
+document.getElementById("reset").onclick = function () {{
+  FOCUS = ROOT; render(); statusEl.textContent = "";
+}};
+render();
+</script>
+</body></html>
+"""
+
+
+def render_html(
+    folded: dict[str, float],
+    title: str = "repro flamegraph",
+    unit: str = "seconds",
+    meta: str = "",
+    path: str | Path | None = None,
+) -> str:
+    """Render folded stacks as a self-contained HTML flamegraph.
+
+    ``unit`` is ``"samples"`` for sampler output or ``"seconds"`` for
+    span self-time input; it only affects hover formatting.
+    """
+    tree = build_tree(folded)
+    payload = json.dumps({"tree": tree, "unit": unit},
+                         separators=(",", ":"))
+    text = _TEMPLATE.format(
+        title=_html.escape(title),
+        meta=_html.escape(meta),
+        payload=payload.replace("</", "<\\/"),
+    )
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

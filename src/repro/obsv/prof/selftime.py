@@ -1,0 +1,152 @@
+"""Self-time attribution over the span call-tree.
+
+The span tracer reports *inclusive* wall-clock per path — ``episode``
+contains everything, so it always tops the table and says nothing about
+where the time actually goes. Self time is inclusive minus the time
+spent in direct children: the microseconds a span burned in its own
+frame. Summed over every path it reconstructs the root spans' inclusive
+total exactly, which is what lets a profile claim "these rows account
+for the session".
+
+Two sources feed this module:
+
+* schema-2 snapshots (``BENCH_telemetry.json`` written by the bench
+  conftest, or any :meth:`Tracer.snapshot`) carry exact
+  ``self_total_s`` per span from the tracer's child bookkeeping;
+* schema-1 snapshots (older baselines) lack it, so self time is derived
+  from the path tree (``a/b`` is a direct child of ``a``) — exact unless
+  a span *name* itself contains ``/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obsv.render import fmt, markdown_table
+
+
+@dataclass(frozen=True)
+class SelfTimeRow:
+    """Self-time attribution of one span path."""
+
+    path: str
+    calls: int
+    #: Inclusive wall-clock (the tracer's ``total_s``).
+    total_s: float
+    #: Inclusive minus direct children: time in the span's own frame.
+    self_s: float
+    #: ``self_s`` per call, microseconds.
+    self_mean_us: float
+    #: Share of the session's summed self time, 0..1.
+    self_frac: float
+
+
+def _derived_self(spans: dict[str, dict]) -> dict[str, float]:
+    """Self time per path from the path tree (schema-1 fallback)."""
+    child_sum: dict[str, float] = {path: 0.0 for path in spans}
+    for path, stats in spans.items():
+        if "/" not in path:
+            continue
+        parent = path.rsplit("/", 1)[0]
+        if parent in child_sum:
+            child_sum[parent] += float(stats.get("total_s", 0.0))
+    return {
+        path: max(float(stats.get("total_s", 0.0)) - child_sum[path], 0.0)
+        for path, stats in spans.items()
+    }
+
+
+def attribute(spans: dict[str, dict]) -> list[SelfTimeRow]:
+    """Self-time rows for a span snapshot, largest self time first."""
+    if not spans:
+        return []
+    fallback = None
+    self_times: dict[str, float] = {}
+    for path, stats in spans.items():
+        if "self_total_s" in stats:
+            self_times[path] = float(stats["self_total_s"])
+        else:
+            if fallback is None:
+                fallback = _derived_self(spans)
+            self_times[path] = fallback[path]
+    grand_total = sum(self_times.values())
+    rows = []
+    for path, stats in spans.items():
+        calls = int(stats.get("count", 0))
+        self_s = self_times[path]
+        rows.append(
+            SelfTimeRow(
+                path=path,
+                calls=calls,
+                total_s=float(stats.get("total_s", 0.0)),
+                self_s=self_s,
+                self_mean_us=1e6 * self_s / max(calls, 1),
+                self_frac=self_s / grand_total if grand_total else 0.0,
+            )
+        )
+    rows.sort(key=lambda row: -row.self_s)
+    return rows
+
+
+def total_self_s(rows: list[SelfTimeRow]) -> float:
+    """Summed self time — equals the root spans' inclusive total."""
+    return sum(row.self_s for row in rows)
+
+
+def root_total_s(spans: dict[str, dict]) -> float:
+    """Summed inclusive time of root paths (the tree's wall-clock)."""
+    return sum(
+        float(stats.get("total_s", 0.0))
+        for path, stats in spans.items()
+        if "/" not in path
+    )
+
+
+def to_markdown(
+    rows: list[SelfTimeRow], top: int = 15, heading: bool = True
+) -> str:
+    """The "where the time actually goes" table, top-N rows by self time."""
+    lines: list[str] = []
+    if heading:
+        lines += ["## Self time (where the time actually goes)", ""]
+    shown = rows[:top]
+    table_rows = [
+        [
+            f"`{row.path}`",
+            row.calls,
+            fmt(row.self_s, 2),
+            fmt(row.self_mean_us, 1),
+            fmt(100.0 * row.self_frac, 1),
+            fmt(row.total_s, 2),
+        ]
+        for row in shown
+    ]
+    lines.extend(
+        markdown_table(
+            ["span", "calls", "self s", "self us/call", "self %", "incl s"],
+            table_rows,
+        )
+    )
+    hidden = len(rows) - len(shown)
+    if hidden > 0:
+        remainder = sum(row.self_s for row in rows[top:])
+        lines.append("")
+        lines.append(
+            f"... {hidden} more span(s) accounting for"
+            f" {fmt(remainder, 2)} s of self time."
+        )
+    return "\n".join(lines) + "\n"
+
+
+def to_json(rows: list[SelfTimeRow]) -> list[dict]:
+    return [
+        {
+            "path": row.path,
+            "calls": row.calls,
+            "total_s": round(row.total_s, 6),
+            "self_s": round(row.self_s, 6),
+            "self_mean_us": round(row.self_mean_us, 3),
+            "self_frac": round(row.self_frac, 6),
+        }
+        for row in rows
+    ]

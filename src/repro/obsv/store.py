@@ -8,17 +8,24 @@ files and metrics/bench snapshots into an indexed SQLite database
 dashboard, ``repro.obsv regress``, and the ``query`` subcommand — hit
 indexes instead of re-decoding JSON lines.
 
-Layout (schema version 1):
+Layout (schema version 2):
 
 * ``runs``      — one row per ingested source file (trace or snapshot),
   keyed by absolute path with mtime/size for change detection; re-ingest
   of an unchanged file is a no-op, a changed file is replaced.
 * ``events``    — one row per trace event. The full record is kept as a
   JSON payload column; the hot filter fields (kind, episode, loop, step,
-  tick, t) are hoisted into indexed columns.
+  tick, t, name) are hoisted into indexed columns. ``name`` (added in
+  v2) carries span paths from ``span``/``profile`` events, so per-span
+  self-time series are one indexed filter away.
 * ``snapshots`` — whole metrics / bench JSON documents by name
-  (``EXPERIMENTS_metrics.json``, ``BENCH_telemetry.json``, ...).
+  (``EXPERIMENTS_metrics.json``, ``BENCH_telemetry.json``,
+  ``PROFILE_report.json``, ...).
 * ``meta``      — key/value store (schema version, source directory).
+
+Opening a schema-1 store migrates it in place (``ALTER TABLE`` adding
+the ``name`` column, backfilled from payloads); stores newer than this
+build refuse to open.
 
 Field-level reads (``series`` / ``aggregate``) use the SQLite ``json1``
 functions when available and fall back to decoding payloads in Python
@@ -45,13 +52,13 @@ log = get_logger("obsv.store")
 #: Default store filename inside an ingested run directory.
 DEFAULT_STORE_NAME = "obsv.sqlite"
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Aggregations exposed by :meth:`TelemetryStore.aggregate` / the CLI.
 AGGREGATES = ("count", "mean", "min", "max", "sum")
 
 #: Columns usable as GROUP BY keys (all indexed or trivially cheap).
-GROUP_KEYS = ("kind", "episode", "loop", "run")
+GROUP_KEYS = ("kind", "episode", "loop", "run", "name")
 
 _DDL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -75,6 +82,7 @@ CREATE TABLE IF NOT EXISTS events (
     step    INTEGER,
     tick    INTEGER,
     t       REAL,
+    name    TEXT,
     payload TEXT NOT NULL,
     PRIMARY KEY (run_id, seq)
 );
@@ -143,15 +151,22 @@ class TelemetryStore:
             str(self.path), timeout=0.25, isolation_level=None
         )
         self._conn.executescript(_DDL)
+        self._json1 = self._probe_json1()
         existing = self.get_meta("schema_version")
         if existing is None:
             self.set_meta("schema_version", str(SCHEMA_VERSION))
-        elif int(existing) != SCHEMA_VERSION:
+        elif int(existing) > SCHEMA_VERSION:
             raise ValueError(
                 f"store {self.path} has schema v{existing}, "
                 f"this build reads v{SCHEMA_VERSION}"
             )
-        self._json1 = self._probe_json1()
+        elif int(existing) < SCHEMA_VERSION:
+            self._migrate(int(existing))
+        # v2 index; created here (not in _DDL) so it lands after a v1
+        # store's migration has added the column.
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_events_name ON events(name)"
+        )
 
     def _probe_json1(self) -> bool:
         try:
@@ -159,6 +174,50 @@ class TelemetryStore:
             return True
         except sqlite3.OperationalError:
             return False
+
+    def _migrate(self, from_version: int) -> None:
+        """Upgrade an older store in place (one transaction)."""
+        log.info(
+            "store.migrate", path=str(self.path),
+            from_version=from_version, to_version=SCHEMA_VERSION,
+        )
+        json1 = self._json1
+
+        def txn(conn: sqlite3.Connection) -> None:
+            if from_version < 2:
+                columns = {
+                    row[1]
+                    for row in conn.execute("PRAGMA table_info(events)")
+                }
+                if "name" not in columns:
+                    conn.execute("ALTER TABLE events ADD COLUMN name TEXT")
+                # Backfill from payloads so pre-migration span events are
+                # filterable too.
+                if json1:
+                    conn.execute(
+                        "UPDATE events SET name ="
+                        " json_extract(payload, '$.name')"
+                        " WHERE json_extract(payload, '$.name') IS NOT NULL"
+                    )
+                else:
+                    rows = conn.execute(
+                        "SELECT run_id, seq, payload FROM events"
+                    ).fetchall()
+                    for run_id, seq, payload in rows:
+                        value = json.loads(payload).get("name")
+                        if value is not None:
+                            conn.execute(
+                                "UPDATE events SET name = ?"
+                                " WHERE run_id = ? AND seq = ?",
+                                (str(value), run_id, seq),
+                            )
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (str(SCHEMA_VERSION),),
+            )
+
+        self._write(txn)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -284,8 +343,9 @@ class TelemetryStore:
             run_id = cursor.lastrowid
             conn.executemany(
                 "INSERT INTO events "
-                "(run_id, seq, kind, episode, loop, step, tick, t, payload) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "(run_id, seq, kind, episode, loop, step, tick, t, name,"
+                " payload) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     (
                         run_id,
@@ -298,6 +358,9 @@ class TelemetryStore:
                         event.get("step"),
                         event.get("tick"),
                         event.get("t"),
+                        None
+                        if event.get("name") is None
+                        else str(event["name"]),
                         json.dumps(event, separators=(",", ":")),
                     )
                     for seq, event in enumerate(events)
@@ -355,7 +418,11 @@ class TelemetryStore:
             info = self.ingest_trace(trace_path)
             summary["traces"] += 1
             summary["events"] += info.events
-        for name in ("EXPERIMENTS_metrics.json", "BENCH_telemetry.json"):
+        for name in (
+            "EXPERIMENTS_metrics.json",
+            "BENCH_telemetry.json",
+            "PROFILE_report.json",
+        ):
             candidate = directory / name
             if candidate.exists():
                 self.ingest_snapshot(candidate)
@@ -378,6 +445,7 @@ class TelemetryStore:
         episode: object | None,
         loop: str | None,
         run: int | None,
+        name: str | None = None,
     ) -> tuple[str, list]:
         clauses, params = [], []
         if kind is not None:
@@ -392,6 +460,9 @@ class TelemetryStore:
         if run is not None:
             clauses.append("run_id = ?")
             params.append(int(run))
+        if name is not None:
+            clauses.append("name = ?")
+            params.append(name)
         where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
         return where, params
 
@@ -402,9 +473,10 @@ class TelemetryStore:
         loop: str | None = None,
         run: int | None = None,
         limit: int | None = None,
+        name: str | None = None,
     ) -> list[dict]:
         """Decoded event records in ingestion order."""
-        where, params = self._where(kind, episode, loop, run)
+        where, params = self._where(kind, episode, loop, run, name)
         sql = f"SELECT payload FROM events{where} ORDER BY run_id, seq"
         if limit is not None:
             sql += " LIMIT ?"
@@ -466,10 +538,11 @@ class TelemetryStore:
         episode: object | None = None,
         loop: str | None = None,
         run: int | None = None,
+        name: str | None = None,
     ) -> list[float]:
         """One numeric event field over time (events lacking it skipped)."""
         self._check_field(field)
-        where, params = self._where(kind, episode, loop, run)
+        where, params = self._where(kind, episode, loop, run, name)
         if self._json1:
             sql = (
                 f"SELECT json_extract(payload, '$.{field}') "
@@ -485,7 +558,7 @@ class TelemetryStore:
                 pass  # NaN/Infinity payloads are not valid JSON for json1
         return [
             float(event[field])
-            for event in self.events(kind, episode, loop, run)
+            for event in self.events(kind, episode, loop, run, name=name)
             if field in event and event[field] is not None
         ]
 
@@ -498,6 +571,7 @@ class TelemetryStore:
         loop: str | None = None,
         run: int | None = None,
         group_by: str | None = None,
+        name: str | None = None,
     ) -> list[tuple]:
         """Aggregate one event field, optionally grouped.
 
@@ -521,7 +595,7 @@ class TelemetryStore:
                 "max": f"MAX({expr})",
                 "sum": f"SUM({expr})",
             }[agg]
-            where, params = self._where(kind, episode, loop, run)
+            where, params = self._where(kind, episode, loop, run, name)
             not_null = f"{expr} IS NOT NULL"
             where = (
                 where + f" AND {not_null}" if where else f" WHERE {not_null}"
@@ -538,13 +612,13 @@ class TelemetryStore:
             except sqlite3.OperationalError:
                 pass  # NaN/Infinity payloads are not valid JSON for json1
         return self._aggregate_python(
-            field, agg, kind, episode, loop, run, group_by
+            field, agg, kind, episode, loop, run, group_by, name
         )
 
     def _aggregate_python(
-        self, field, agg, kind, episode, loop, run, group_by
+        self, field, agg, kind, episode, loop, run, group_by, name=None
     ) -> list[tuple]:
-        where, params = self._where(kind, episode, loop, run)
+        where, params = self._where(kind, episode, loop, run, name)
         sql = f"SELECT run_id, payload FROM events{where} ORDER BY run_id, seq"
         groups: dict[object, list[float]] = {}
         for run_id, payload in self._conn.execute(sql, params):

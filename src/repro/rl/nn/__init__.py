@@ -1,11 +1,13 @@
 """Numpy neural-network core: autodiff tensors, layers, optimizers."""
 
 from repro.rl.nn.autograd import Tensor, concat, gaussian_log_prob, minimum
+from repro.rl.nn.flops import FlopCounter, get_flop_counter
 from repro.rl.nn.layers import Linear, Mlp, Module, relu, tanh
 from repro.rl.nn.optim import Adam, Sgd
 
 __all__ = [
     "Adam",
+    "FlopCounter",
     "Linear",
     "Mlp",
     "Module",
@@ -13,6 +15,7 @@ __all__ = [
     "Tensor",
     "concat",
     "gaussian_log_prob",
+    "get_flop_counter",
     "minimum",
     "relu",
     "tanh",

@@ -19,6 +19,24 @@ import numpy as np
 
 ArrayLike = "np.ndarray | float | int"
 
+#: FLOP-accounting hook — ``None`` (the default) means counting is off
+#: and every op pays exactly one identity comparison. Set to the
+#: process-wide :class:`repro.rl.nn.flops.FlopCounter` by its
+#: ``enable()``; the ops below then report matmul / elementwise work.
+FLOP_HOOK = None
+
+
+def _matmul_dims(
+    a_shape: tuple[int, ...], b_shape: tuple[int, ...]
+) -> tuple[int, int, int]:
+    """Effective ``(m, k, n)`` of ``a @ b`` (1-D operands rank-extended)."""
+    k = a_shape[-1]
+    m = 1
+    for dim in a_shape[:-1]:
+        m *= dim
+    n = b_shape[-1] if len(b_shape) > 1 else 1
+    return m, k, n
+
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape`` to undo numpy broadcasting."""
@@ -120,6 +138,8 @@ class Tensor:
     def __add__(self, other: "ArrayLike | Tensor") -> "Tensor":
         other = self._lift(other)
         out_data = self.data + other.data
+        if FLOP_HOOK is not None:
+            FLOP_HOOK.elementwise("add_fwd", out_data.size)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad or self._parents:
@@ -197,8 +217,15 @@ class Tensor:
     def __matmul__(self, other: "ArrayLike | Tensor") -> "Tensor":
         other = self._lift(other)
         out_data = self.data @ other.data
+        if FLOP_HOOK is not None:
+            FLOP_HOOK.matmul(*_matmul_dims(self.data.shape, other.data.shape))
 
         def backward(grad: np.ndarray) -> None:
+            if FLOP_HOOK is not None:
+                FLOP_HOOK.matmul(
+                    *_matmul_dims(self.data.shape, other.data.shape),
+                    backward=True,
+                )
             if self.requires_grad or self._parents:
                 self._accumulate(grad @ other.data.T)
             if other.requires_grad or other._parents:
@@ -215,8 +242,12 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if FLOP_HOOK is not None:
+            FLOP_HOOK.elementwise("tanh_fwd", out_data.size)
 
         def backward(grad: np.ndarray) -> None:
+            if FLOP_HOOK is not None:
+                FLOP_HOOK.elementwise("tanh_bwd", out_data.size)
             self._accumulate(grad * (1.0 - out_data * out_data))
 
         return Tensor(
@@ -228,8 +259,12 @@ class Tensor:
 
     def relu(self) -> "Tensor":
         out_data = np.maximum(self.data, 0.0)
+        if FLOP_HOOK is not None:
+            FLOP_HOOK.elementwise("relu_fwd", out_data.size)
 
         def backward(grad: np.ndarray) -> None:
+            if FLOP_HOOK is not None:
+                FLOP_HOOK.elementwise("relu_bwd", out_data.size)
             self._accumulate(grad * (self.data > 0.0))
 
         return Tensor(

@@ -7,6 +7,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.rl.nn import autograd
 from repro.rl.nn.autograd import Tensor
 
 
@@ -179,6 +180,23 @@ class Mlp(Module):
 
     def forward_np(self, x: np.ndarray) -> np.ndarray:
         """Fast inference path without building an autodiff graph."""
+        hook = autograd.FLOP_HOOK
+        if hook is not None:
+            # One batched sweep over the whole stack: matmul + bias +
+            # activation per layer, same bookkeeping as the taped path.
+            batch = 1 if x.ndim == 1 else x.shape[0]
+            for layer in self.layers:
+                hook.matmul(batch, layer.in_dim, layer.out_dim)
+                hook.elementwise("add_fwd", batch * layer.out_dim)
+            for layer in self.layers[:-1]:
+                hook.elementwise(
+                    _activation_op(self.activation), batch * layer.out_dim
+                )
+            if self.output_activation is not None:
+                hook.elementwise(
+                    _activation_op(self.output_activation),
+                    batch * self.layers[-1].out_dim,
+                )
         for layer in self.layers[:-1]:
             x = x @ layer.weight.data + layer.bias.data
             x = _apply_np(self.activation, x)
@@ -186,6 +204,14 @@ class Mlp(Module):
         if self.output_activation is not None:
             x = _apply_np(self.output_activation, x)
         return x
+
+
+def _activation_op(activation: Activation) -> str:
+    if activation is relu:
+        return "relu_fwd"
+    if activation is tanh:
+        return "tanh_fwd"
+    return "activation_fwd"
 
 
 def _apply_np(activation: Activation, x: np.ndarray) -> np.ndarray:

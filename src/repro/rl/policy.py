@@ -11,6 +11,7 @@ import math
 
 import numpy as np
 
+from repro.rl.nn import autograd
 from repro.rl.nn.autograd import Tensor, concat, gaussian_log_prob
 from repro.rl.nn.layers import Linear, Mlp, Module, relu
 
@@ -78,6 +79,13 @@ class SquashedGaussianPolicy(Module):
 
     def forward_np(self, obs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Mean and log-std without building a graph."""
+        hook = autograd.FLOP_HOOK
+        if hook is not None:
+            batch = 1 if obs.ndim == 1 else obs.shape[0]
+            for head in (self.mean_head, self.log_std_head):
+                hook.matmul(batch, head.in_dim, head.out_dim)
+                hook.elementwise("add_fwd", batch * head.out_dim)
+            hook.elementwise("tanh_fwd", batch * self.action_dim)
         features = self.trunk.forward_np(obs)
         mean = features @ self.mean_head.weight.data + self.mean_head.bias.data
         raw = (

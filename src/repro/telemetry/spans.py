@@ -12,7 +12,10 @@ Spans nest: entering ``agent.act`` inside an open ``episode`` span
 aggregates under the path ``episode/agent.act``, so the snapshot doubles
 as a call-tree profile. Aggregation keeps count/total/min/max plus every
 duration in a :class:`~repro.telemetry.metrics.Histogram` for exact
-percentiles.
+percentiles. Each span also accumulates the wall-clock its *direct
+children* spent (``child_total``), so the snapshot reports **self time**
+(inclusive minus children) — the number the profiling layer
+(:mod:`repro.obsv.prof`) attributes optimisation work against.
 
 The tracer is **disabled by default**: ``span()`` then returns a shared
 no-op context manager and ``@timed`` wrappers fall through with a single
@@ -20,6 +23,12 @@ attribute check, so instrumented hot loops stay within noise of the
 uninstrumented code. Set ``REPRO_SPANS`` (truthy) to enable at import, or
 call ``get_tracer().enable()`` programmatically. Timing uses
 ``time.perf_counter`` only — no RNG, no simulation state.
+
+Probes
+    Profiling tools can attach :class:`SpanProbe` objects via
+    :meth:`Tracer.add_probe`; each live span then calls ``on_enter`` /
+    ``on_exit`` around its body (allocation tracking, FLOP attribution).
+    With no probes attached the per-span cost is one truthiness check.
 """
 
 from __future__ import annotations
@@ -31,14 +40,16 @@ import time
 
 from repro.telemetry.metrics import Histogram
 
-#: Cap on retained raw events for the Chrome export (oldest kept).
+#: Cap on retained raw events for the Chrome export (oldest kept). Spans
+#: finishing beyond the cap are counted in ``Tracer.events_dropped`` and
+#: the ``spans_dropped_total`` metric instead of vanishing silently.
 MAX_RAW_EVENTS = 500_000
 
 
 class SpanStats:
     """Aggregate timing of one span path."""
 
-    __slots__ = ("count", "total", "min", "max", "durations")
+    __slots__ = ("count", "total", "min", "max", "durations", "child_total")
 
     def __init__(self) -> None:
         self.count = 0
@@ -46,6 +57,10 @@ class SpanStats:
         self.min = float("inf")
         self.max = 0.0
         self.durations = Histogram()
+        #: Wall-clock spent inside *direct* child spans (self = total -
+        #: child_total). Accumulated at child exit, so it is exact even
+        #: for span names containing path separators.
+        self.child_total = 0.0
 
     def add(self, duration: float) -> None:
         self.count += 1
@@ -56,18 +71,42 @@ class SpanStats:
             self.max = duration
         self.durations.observe(duration)
 
+    @property
+    def self_total(self) -> float:
+        """Inclusive total minus direct-children total (never negative)."""
+        return max(self.total - self.child_total, 0.0)
+
     def summary(self) -> dict[str, float]:
         stats = self.durations.summary()
+        self_total = self.self_total
         return {
             "count": self.count,
             "total_s": round(self.total, 6),
+            "self_total_s": round(self_total, 6),
             "mean_us": round(1e6 * self.total / max(self.count, 1), 3),
+            "self_mean_us": round(1e6 * self_total / max(self.count, 1), 3),
             "min_us": round(1e6 * self.min, 3),
             "max_us": round(1e6 * self.max, 3),
             "p50_us": round(1e6 * stats.get("p50", 0.0), 3),
             "p90_us": round(1e6 * stats.get("p90", 0.0), 3),
             "p99_us": round(1e6 * stats.get("p99", 0.0), 3),
         }
+
+
+class SpanProbe:
+    """Observer attached to the tracer; called around every live span.
+
+    ``on_enter`` may return an arbitrary token (a counter snapshot, a
+    memory reading); the same token comes back to ``on_exit`` with the
+    span's duration. Probes must never raise and must not touch RNG or
+    simulation state — they observe, they do not steer.
+    """
+
+    def on_enter(self, path: str):  # pragma: no cover - interface
+        return None
+
+    def on_exit(self, path: str, token, duration: float) -> None:
+        """Called with the token from ``on_enter`` when the span closes."""
 
 
 class _NullSpan:
@@ -88,7 +127,7 @@ _NULL_SPAN = _NullSpan()
 class _LiveSpan:
     """One active span: pushes its path on enter, aggregates on exit."""
 
-    __slots__ = ("_tracer", "_name", "_path", "_start")
+    __slots__ = ("_tracer", "_name", "_path", "_start", "_tokens")
 
     def __init__(self, tracer: "Tracer", name: str) -> None:
         self._tracer = tracer
@@ -99,19 +138,39 @@ class _LiveSpan:
         parent = stack[-1] if stack else ""
         self._path = f"{parent}/{self._name}" if parent else self._name
         stack.append(self._path)
+        probes = self._tracer._probes
+        self._tokens = (
+            [(probe, probe.on_enter(self._path)) for probe in probes]
+            if probes
+            else None
+        )
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> bool:
         duration = time.perf_counter() - self._start
         tracer = self._tracer
-        tracer._stack().pop()
+        stack = tracer._stack()
+        stack.pop()
         stats = tracer._stats.get(self._path)
         if stats is None:
             stats = tracer._stats[self._path] = SpanStats()
         stats.add(duration)
-        if tracer.record_events and len(tracer.events) < MAX_RAW_EVENTS:
-            tracer.events.append((self._path, self._start, duration))
+        if stack:
+            # Credit the enclosing span's child_total so its self time
+            # (inclusive - children) is exact in the snapshot.
+            parent = tracer._stats.get(stack[-1])
+            if parent is None:
+                parent = tracer._stats[stack[-1]] = SpanStats()
+            parent.child_total += duration
+        if tracer.record_events:
+            if len(tracer.events) < MAX_RAW_EVENTS:
+                tracer.events.append((self._path, self._start, duration))
+            else:
+                tracer._drop_event()
+        if self._tokens:
+            for probe, token in self._tokens:
+                probe.on_exit(self._path, token, duration)
         return False
 
 
@@ -124,14 +183,30 @@ class Tracer:
         #: ``(path, start_s, duration_s)`` event for the Chrome export.
         self.record_events = False
         self.events: list[tuple[str, float, float]] = []
+        #: Spans that finished after ``events`` hit :data:`MAX_RAW_EVENTS`
+        #: (their aggregate stats are still recorded; only the raw event
+        #: for the Chrome export is lost).
+        self.events_dropped = 0
         self._stats: dict[str, SpanStats] = {}
         self._local = threading.local()
+        self._probes: list[SpanProbe] = []
+        self._dropped_counter = None
 
     def _stack(self) -> list[str]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
+
+    def _drop_event(self) -> None:
+        self.events_dropped += 1
+        if self._dropped_counter is None:
+            from repro.telemetry.metrics import get_registry
+
+            self._dropped_counter = get_registry().counter(
+                "spans_dropped_total"
+            )
+        self._dropped_counter.inc()
 
     def enable(self, record_events: bool = False) -> None:
         self.enabled = True
@@ -140,6 +215,15 @@ class Tracer:
 
     def disable(self) -> None:
         self.enabled = False
+
+    def add_probe(self, probe: SpanProbe) -> None:
+        """Attach a probe called around every subsequent live span."""
+        if probe not in self._probes:
+            self._probes.append(probe)
+
+    def remove_probe(self, probe: SpanProbe) -> None:
+        if probe in self._probes:
+            self._probes.remove(probe)
 
     def span(self, name: str):
         """Context manager timing ``name`` (no-op singleton when disabled)."""
@@ -150,6 +234,7 @@ class Tracer:
     def reset(self) -> None:
         self._stats.clear()
         self.events.clear()
+        self.events_dropped = 0
         self._local = threading.local()
 
     def snapshot(self) -> dict[str, dict[str, float]]:
@@ -158,6 +243,19 @@ class Tracer:
             self._stats.items(), key=lambda item: -item[1].total
         )
         return {path: stats.summary() for path, stats in ordered}
+
+    def chrome_trace(self, path=None) -> dict:
+        """The recorded raw events as a Chrome ``trace_event`` document.
+
+        Embeds a ``spans_truncated`` marker when :data:`MAX_RAW_EVENTS`
+        capped the recording, so a flame graph that silently ends mid-run
+        is distinguishable from a run that actually ended there.
+        """
+        from repro.telemetry.trace import to_chrome_trace
+
+        return to_chrome_trace(
+            self.events, path=path, dropped=self.events_dropped
+        )
 
 
 _TRACER = Tracer(

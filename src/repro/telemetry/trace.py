@@ -138,6 +138,34 @@ SCHEMAS: dict[str, dict[str, dict[str, tuple]]] = {
             "threshold": _NUMBER,
         },
     },
+    "profile": {
+        #: One profiled span path (written by ``repro.obsv profile``):
+        #: self-time attribution plus optional allocation / FLOP figures.
+        #: Ingesting these into the telemetry store lets ``obsv query``
+        #: chart per-span self-time series across runs.
+        "required": {
+            "name": (str,),
+            "calls": (int,),
+            "total_s": _NUMBER,
+            "self_s": _NUMBER,
+        },
+        "optional": {
+            "mean_us": _NUMBER,
+            "self_mean_us": _NUMBER,
+            #: Share of the session's total self time, 0..1.
+            "self_frac": _NUMBER,
+            #: Net bytes allocated / peak traced bytes inside the span
+            #: (present only for ``REPRO_PROF_MEM`` opted-in spans).
+            "net_alloc_kb": _NUMBER,
+            "peak_alloc_kb": _NUMBER,
+            #: Floating-point work attributed to the span and the achieved
+            #: rate over its inclusive wall-clock.
+            "flops": _NUMBER,
+            "mflops_per_s": _NUMBER,
+            #: FLOPs per byte moved (arithmetic intensity).
+            "intensity": _NUMBER,
+        },
+    },
 }
 
 
@@ -295,7 +323,7 @@ def read_trace(path: str | Path, strict: bool = False) -> list[dict]:
 
 
 def to_chrome_trace(
-    events: Iterable, path: str | Path | None = None
+    events: Iterable, path: str | Path | None = None, dropped: int = 0
 ) -> dict:
     """Convert events into Chrome ``trace_event`` JSON (flame graphs).
 
@@ -303,6 +331,10 @@ def to_chrome_trace(
     complete ``"ph": "X"`` slices, everything else as instant events) or
     the raw ``(path, start_s, duration_s)`` tuples collected by
     :class:`~repro.telemetry.spans.Tracer` with ``record_events`` on.
+    ``dropped`` is the number of events lost to the recording cap
+    (:data:`~repro.telemetry.spans.MAX_RAW_EVENTS`); when nonzero a
+    ``spans_truncated`` instant marker is embedded after the last slice
+    so viewers see the recording was cut, not the run.
     """
     slices = []
     for event in events:
@@ -341,6 +373,20 @@ def to_chrome_trace(
                     "args": event,
                 }
             )
+    if dropped:
+        last_ts = max((s["ts"] + s.get("dur", 0.0) for s in slices),
+                      default=0.0)
+        slices.append(
+            {
+                "name": "spans_truncated",
+                "ph": "i",
+                "ts": last_ts,
+                "pid": 0,
+                "tid": 0,
+                "s": "g",
+                "args": {"dropped": int(dropped)},
+            }
+        )
     document = {"traceEvents": slices, "displayTimeUnit": "ms"}
     if path is not None:
         Path(path).write_text(

@@ -268,3 +268,144 @@ class TestCli:
         store_out = capsys.readouterr().out
         assert (rc_store, store_out) == (rc_file, file_out)
         assert rc_store == 1  # 100s vs 30s baseline is a breach
+
+_V1_DDL = """
+CREATE TABLE meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE runs (
+    run_id  INTEGER PRIMARY KEY AUTOINCREMENT,
+    source  TEXT NOT NULL UNIQUE,
+    kind    TEXT NOT NULL,
+    mtime   REAL NOT NULL,
+    size    INTEGER NOT NULL,
+    events  INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE events (
+    run_id  INTEGER NOT NULL REFERENCES runs(run_id),
+    seq     INTEGER NOT NULL,
+    kind    TEXT NOT NULL,
+    episode TEXT,
+    loop    TEXT,
+    step    INTEGER,
+    tick    INTEGER,
+    t       REAL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (run_id, seq)
+);
+CREATE INDEX idx_events_kind ON events(kind);
+CREATE INDEX idx_events_episode ON events(episode);
+CREATE INDEX idx_events_loop ON events(loop);
+CREATE TABLE snapshots (
+    name    TEXT PRIMARY KEY,
+    source  TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
+"""
+
+
+def make_v1_store(path):
+    """Hand-build a schema-1 store (no events.name column)."""
+    import sqlite3
+
+    conn = sqlite3.connect(str(path))
+    conn.executescript(_V1_DDL)
+    conn.execute("INSERT INTO meta VALUES ('schema_version', '1')")
+    conn.execute(
+        "INSERT INTO runs (source, kind, mtime, size, events)"
+        " VALUES ('old.jsonl', 'trace', 0.0, 1, 3)"
+    )
+    rows = [
+        {"event": "profile", "name": "episode", "calls": 2,
+         "total_s": 1.0, "self_s": 0.25},
+        {"event": "profile", "name": "episode/world.tick", "calls": 10,
+         "total_s": 0.75, "self_s": 0.75},
+        {"event": "update_health", "loop": "sac-a", "step": 0, "update": 1},
+    ]
+    for seq, record in enumerate(rows):
+        conn.execute(
+            "INSERT INTO events (run_id, seq, kind, loop, payload)"
+            " VALUES (1, ?, ?, ?, ?)",
+            (seq, record["event"], record.get("loop"), json.dumps(record)),
+        )
+    conn.commit()
+    conn.close()
+    return path
+
+
+class TestSchemaMigration:
+    def test_v1_store_migrates_in_place(self, tmp_path):
+        path = make_v1_store(tmp_path / "old.sqlite")
+        with TelemetryStore(path) as store:
+            assert store.get_meta("schema_version") == "2"
+            # name backfilled from payloads: the old rows are filterable
+            rows = store.events(kind="profile", name="episode")
+            assert len(rows) == 1 and rows[0]["calls"] == 2
+            # and rows without a payload name stay NULL / unmatched
+            assert store.events(kind="update_health", name="episode") == []
+
+    def test_migration_is_idempotent_and_queryable(self, tmp_path):
+        path = make_v1_store(tmp_path / "old.sqlite")
+        TelemetryStore(path).close()  # migrate
+        with TelemetryStore(path) as store:  # reopen: no-op
+            assert store.get_meta("schema_version") == "2"
+            rows = store.aggregate(
+                "self_s", agg="sum", kind="profile", group_by="name"
+            )
+            assert dict(rows) == {
+                "episode": 0.25, "episode/world.tick": 0.75
+            }
+
+    def test_newer_schema_refuses_to_open(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        TelemetryStore(path).close()
+        import sqlite3
+
+        conn = sqlite3.connect(str(path))
+        conn.execute("UPDATE meta SET value = '99' WHERE key ="
+                     " 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="schema v99"):
+            TelemetryStore(path)
+
+
+class TestNameColumn:
+    @pytest.fixture()
+    def profile_run(self, tmp_path):
+        writer = TraceWriter(tmp_path / "PROFILE_events.jsonl")
+        writer.emit("profile", name="episode", calls=4, total_s=2.0,
+                    self_s=0.5, mflops_per_s=120.0)
+        writer.emit("profile", name="episode/agent.e2e.act", calls=400,
+                    total_s=1.5, self_s=1.5, mflops_per_s=480.0)
+        writer.close()
+        return tmp_path
+
+    def test_ingest_and_filter_by_name(self, profile_run, tmp_path):
+        with TelemetryStore(tmp_path / "s.sqlite") as store:
+            store.ingest_dir(profile_run)
+            act = store.events(kind="profile", name="episode/agent.e2e.act")
+            assert len(act) == 1 and act[0]["mflops_per_s"] == 480.0
+            values = store.series("self_s", kind="profile", name="episode")
+            assert values == [0.5]
+            rows = store.aggregate(
+                "mflops_per_s", agg="max", kind="profile", group_by="name"
+            )
+            assert ("episode/agent.e2e.act", 480.0) in rows
+
+    def test_cli_name_filter_and_group(self, profile_run, capsys):
+        assert main(["ingest", str(profile_run)]) == 0
+        store_path = profile_run / "obsv.sqlite"
+        capsys.readouterr()
+        assert main([
+            "query", str(store_path), "--kind", "profile",
+            "--name", "episode", "--field", "calls",
+        ]) == 0
+        assert capsys.readouterr().out.splitlines() == ["calls", "4.0"]
+        assert main([
+            "query", str(store_path), "--kind", "profile",
+            "--field", "self_s", "--agg", "sum", "--group-by", "name",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "episode,0.5" in out and "episode/agent.e2e.act,1.5" in out

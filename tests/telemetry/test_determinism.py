@@ -70,3 +70,68 @@ def test_metrics_counters_do_not_feed_back():
     second = run_episode(_victim, attacker=OracleAttacker(budget=1.0),
                          seed=SEED)
     assert first == second
+
+
+def test_profiling_disabled_by_default_and_zero_footprint():
+    # REPRO_PROF is unset in the test environment: no env session runs,
+    # the tracer has no probes, and the NN FLOP hook stays cleared — the
+    # exact state the bit-identical baselines above were recorded in.
+    import os
+
+    from repro.obsv.prof import env_session
+    from repro.rl.nn import autograd
+
+    assert os.environ.get("REPRO_PROF") in (None, "", "0")
+    assert env_session() is None
+    assert get_tracer()._probes == []
+    assert autograd.FLOP_HOOK is None
+
+
+def test_trajectory_bit_identical_under_full_profiling():
+    """The profiler is a pure observer: sampler thread, tracemalloc
+    probes, and FLOP accounting running together must not change a
+    single recorded value."""
+    from repro.obsv.prof import ProfileConfig, ProfileSession
+
+    baseline, base_world = record_episode(
+        _victim, attacker=OracleAttacker(budget=1.0), seed=SEED
+    )
+    config = ProfileConfig(hz=250.0, mem=None, flops=True)
+    session = ProfileSession(config, reset=True)
+    session.start()
+    try:
+        profiled, prof_world = record_episode(
+            _victim, attacker=OracleAttacker(budget=1.0), seed=SEED
+        )
+    finally:
+        report = session.stop()
+    assert profiled.to_csv() == baseline.to_csv()
+    assert profiled.to_jsonl() == baseline.to_jsonl()
+    assert base_world.collisions == prof_world.collisions
+    # and the profiler really was live: spans were recorded
+    assert report.spans
+
+
+def test_profiled_episode_replays_faithfully(tmp_path):
+    """Seeded replay diff: an episode traced while the sampler and span
+    probes were running re-simulates to the recorded trajectory."""
+    from repro.obsv import replay as replay_mod
+    from repro.obsv.loader import load_episodes
+    from repro.obsv.prof import ProfileConfig, ProfileSession
+
+    trace_path = tmp_path / "profiled.jsonl"
+    session = ProfileSession(
+        ProfileConfig(hz=250.0, mem=None, flops=True), reset=True
+    )
+    session.start()
+    try:
+        with TraceWriter(trace_path) as writer:
+            run_episode(
+                _victim, attacker=OracleAttacker(budget=1.0), seed=SEED,
+                trace=writer, episode_id=SEED,
+            )
+    finally:
+        session.stop()
+    (episode,) = load_episodes(trace_path)
+    report = replay_mod.replay_episode(episode)
+    assert report.ok, report.to_markdown()

@@ -1,8 +1,16 @@
 """Span tracer: nesting, aggregation, the @timed decorator, enable/disable."""
 
+import time
+
 import pytest
 
-from repro.telemetry.spans import Tracer, _NULL_SPAN, get_tracer, timed
+from repro.telemetry.spans import (
+    SpanProbe,
+    Tracer,
+    _NULL_SPAN,
+    get_tracer,
+    timed,
+)
 
 pytestmark = pytest.mark.telemetry
 
@@ -87,3 +95,90 @@ def test_reset_clears_stats_and_events():
         pass
     tracer.reset()
     assert tracer.snapshot() == {} and tracer.events == []
+    assert tracer.events_dropped == 0
+
+
+def test_self_time_bookkeeping_is_exact():
+    tracer = Tracer(enabled=True)
+    with tracer.span("episode"):
+        for _ in range(3):
+            with tracer.span("world.tick"):
+                time.sleep(0.002)
+    snapshot = tracer.snapshot()
+    parent = snapshot["episode"]
+    child = snapshot["episode/world.tick"]
+    # leaf spans: self == inclusive
+    assert child["self_total_s"] == pytest.approx(child["total_s"])
+    # parent: self == inclusive - direct children, from exact bookkeeping
+    assert parent["self_total_s"] == pytest.approx(
+        parent["total_s"] - child["total_s"], abs=5e-6
+    )
+    assert parent["self_mean_us"] <= parent["mean_us"]
+
+
+def test_self_time_survives_slash_in_span_names():
+    # Path parsing would mis-parent "a/b" opened at the root; the exit
+    # bookkeeping keys on the actual stack, so self time stays exact.
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer"):
+        with tracer.span("a/b"):
+            time.sleep(0.002)
+    snapshot = tracer.snapshot()
+    assert snapshot["outer"]["self_total_s"] == pytest.approx(
+        snapshot["outer"]["total_s"] - snapshot["outer/a/b"]["total_s"],
+        abs=5e-6,
+    )
+
+
+def test_event_cap_counts_drops_and_marks_chrome_trace(monkeypatch):
+    monkeypatch.setattr("repro.telemetry.spans.MAX_RAW_EVENTS", 2)
+    tracer = Tracer(enabled=True)
+    tracer.record_events = True
+    for _ in range(5):
+        with tracer.span("tick"):
+            pass
+    assert len(tracer.events) == 2
+    assert tracer.events_dropped == 3
+    # aggregates still cover every span
+    assert tracer.snapshot()["tick"]["count"] == 5
+    document = tracer.chrome_trace()
+    markers = [
+        e for e in document["traceEvents"] if e["name"] == "spans_truncated"
+    ]
+    assert len(markers) == 1
+    assert markers[0]["args"]["dropped"] == 3
+    # the marker lands after the last recorded slice
+    last = max(
+        e["ts"] + e.get("dur", 0.0)
+        for e in document["traceEvents"]
+        if e["name"] != "spans_truncated"
+    )
+    assert markers[0]["ts"] >= last
+
+
+def test_probes_see_enter_exit_with_token_and_duration():
+    seen = []
+
+    class Probe(SpanProbe):
+        def on_enter(self, path):
+            seen.append(("enter", path))
+            return len(seen)
+
+        def on_exit(self, path, token, duration):
+            seen.append(("exit", path, token, duration))
+
+    tracer = Tracer(enabled=True)
+    probe = Probe()
+    tracer.add_probe(probe)
+    tracer.add_probe(probe)  # idempotent
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    assert seen[0] == ("enter", "a")
+    assert seen[1] == ("enter", "a/b")
+    assert seen[2][:3] == ("exit", "a/b", 2) and seen[2][3] >= 0.0
+    assert seen[3][:3] == ("exit", "a", 1)
+    tracer.remove_probe(probe)
+    with tracer.span("c"):
+        pass
+    assert len(seen) == 4  # removed probe no longer called
