@@ -17,10 +17,14 @@ span timings; this package *reads* them:
   entropy collapse, reward plateau, buffer starvation, throughput
   regression) over streaming trace events.
 * :mod:`repro.obsv.watch` — live monitor that tails a growing training
-  trace, renders a refreshing terminal view, and fires the watchdogs.
+  trace (or a directory of per-worker shards, multiplexed), renders a
+  refreshing terminal view, and fires the watchdogs.
+* :mod:`repro.obsv.serve` — localhost HTTP server fronting one run:
+  live HTML dashboard, flamegraph, JSON query API, and a Server-Sent
+  -Events stream of new trace events and watchdog alerts.
 
 Entry point: ``python -m repro.obsv
-{forensics,replay,dashboard,regress,ingest,query,watch}``.
+{forensics,replay,dashboard,regress,ingest,query,watch,serve}``.
 """
 
 from repro.obsv.alerts import Alert, WatchConfig, Watchdog

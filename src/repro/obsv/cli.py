@@ -19,8 +19,12 @@ Subcommands:
 * ``ingest <dir>`` — load a run directory's traces and snapshots into a
   SQLite telemetry store (default ``<dir>/obsv.sqlite``).
 * ``query <store>`` — filter/aggregate stored events, export CSV.
-* ``watch <trace.jsonl>`` — tail a growing training trace, render a live
-  terminal view, and fire watchdog alerts (``--exit-on-alert`` for CI).
+* ``watch <trace.jsonl|dir>`` — tail a growing training trace (or a
+  directory of per-worker shards, multiplexed) with a live terminal
+  view and watchdog alerts (``--exit-on-alert`` for CI).
+* ``serve <dir|store.sqlite>`` — HTTP dashboard server on localhost:
+  live HTML dashboard, flamegraph, JSON query API, and an SSE stream of
+  new events and watchdog alerts across every shard in the run.
 * ``verify-artifacts [dir]`` — audit every ``.npz`` checkpoint under a
   directory (default ``artifacts/``) with checksum/load validation;
   exits 1 on corruption.
@@ -271,7 +275,7 @@ def _cmd_query(args) -> int:
     with TelemetryStore(args.store) as store:
         filters = dict(
             kind=args.kind, episode=args.episode, loop=args.loop,
-            run=args.run, name=args.name,
+            run=args.run, name=args.name, worker=args.worker,
         )
         if args.field and args.agg:
             rows = store.aggregate(
@@ -345,6 +349,32 @@ def _cmd_verify_artifacts(args) -> int:
     if corrupt:
         return 1
     return 1 if (args.strict and legacy and not args.upgrade) else 0
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.obsv.serve import DashboardServer
+
+    server = DashboardServer(
+        args.dir, host=args.host, port=args.port, poll=args.poll
+    )
+    server.start()
+    sys.stdout.write(
+        f"serving {args.dir} at {server.url}  (Ctrl-C to stop)\n"
+        f"  dashboard {server.url}\n"
+        f"  API       {server.url}api/status\n"
+        f"  SSE       {server.url}events\n"
+    )
+    sys.stdout.flush()
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
 
 
 def _cmd_watch(args) -> int:
@@ -503,6 +533,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--name", help="span/profile name filter (e.g. episode/world.tick)"
     )
     quer.add_argument(
+        "--worker", type=int, default=None,
+        help="worker id filter (events from shard trace.w<K>.jsonl)",
+    )
+    quer.add_argument(
         "--field", help="numeric event field to extract/aggregate"
     )
     quer.add_argument(
@@ -510,7 +544,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="aggregate the field instead of listing values",
     )
     quer.add_argument(
-        "--group-by", choices=("kind", "episode", "loop", "run", "name"),
+        "--group-by",
+        choices=("kind", "episode", "loop", "run", "name", "worker"),
         help="group the aggregate by this key",
     )
     quer.add_argument("--limit", type=int, help="cap returned rows")
@@ -539,10 +574,36 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--out", help="write the report to this file")
     ver.set_defaults(fn=_cmd_verify_artifacts)
 
+    srv = sub.add_parser(
+        "serve",
+        help="HTTP dashboard + query API + SSE event stream (localhost)",
+    )
+    srv.add_argument(
+        "dir",
+        help="run directory of *.jsonl shards, or a telemetry store",
+    )
+    srv.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    srv.add_argument(
+        "--port", type=int, default=0,
+        help="port (default 0 = ephemeral, printed at startup)",
+    )
+    srv.add_argument(
+        "--poll", type=float, default=0.5,
+        help="seconds between shard polls for the SSE stream",
+    )
+    srv.set_defaults(fn=_cmd_serve)
+
     wat = sub.add_parser(
         "watch", help="live-monitor a growing training trace"
     )
-    wat.add_argument("trace", help="JSONL trace file being written")
+    wat.add_argument(
+        "trace",
+        help="JSONL trace file being written, or a directory of"
+             " per-worker shards (multiplexed into one view)",
+    )
     wat.add_argument(
         "--poll", type=float, default=None,
         help="seconds between polls (default REPRO_WATCH_POLL or 2.0)",

@@ -8,24 +8,29 @@ files and metrics/bench snapshots into an indexed SQLite database
 dashboard, ``repro.obsv regress``, and the ``query`` subcommand — hit
 indexes instead of re-decoding JSON lines.
 
-Layout (schema version 2):
+Layout (schema version 3):
 
 * ``runs``      — one row per ingested source file (trace or snapshot),
   keyed by absolute path with mtime/size for change detection; re-ingest
   of an unchanged file is a no-op, a changed file is replaced.
 * ``events``    — one row per trace event. The full record is kept as a
   JSON payload column; the hot filter fields (kind, episode, loop, step,
-  tick, t, name) are hoisted into indexed columns. ``name`` (added in
-  v2) carries span paths from ``span``/``profile`` events, so per-span
-  self-time series are one indexed filter away.
+  tick, t, name, worker) are hoisted into indexed columns. ``name``
+  (added in v2) carries span paths from ``span``/``profile`` events, so
+  per-span self-time series are one indexed filter away. ``worker``
+  (added in v3) carries the cross-process context stamp
+  (:mod:`repro.telemetry.context`); shard files ingested without stamps
+  inherit the worker id encoded in their filename
+  (``trace.w<worker>.jsonl``), so multi-process sweeps filter and group
+  per worker either way.
 * ``snapshots`` — whole metrics / bench JSON documents by name
   (``EXPERIMENTS_metrics.json``, ``BENCH_telemetry.json``,
   ``PROFILE_report.json``, ...).
 * ``meta``      — key/value store (schema version, source directory).
 
-Opening a schema-1 store migrates it in place (``ALTER TABLE`` adding
-the ``name`` column, backfilled from payloads); stores newer than this
-build refuse to open.
+Opening an older store migrates it in place (``ALTER TABLE`` adding the
+``name`` / ``worker`` columns, backfilled from payloads); stores newer
+than this build refuse to open.
 
 Field-level reads (``series`` / ``aggregate``) use the SQLite ``json1``
 functions when available and fall back to decoding payloads in Python
@@ -52,13 +57,13 @@ log = get_logger("obsv.store")
 #: Default store filename inside an ingested run directory.
 DEFAULT_STORE_NAME = "obsv.sqlite"
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Aggregations exposed by :meth:`TelemetryStore.aggregate` / the CLI.
 AGGREGATES = ("count", "mean", "min", "max", "sum")
 
 #: Columns usable as GROUP BY keys (all indexed or trivially cheap).
-GROUP_KEYS = ("kind", "episode", "loop", "run", "name")
+GROUP_KEYS = ("kind", "episode", "loop", "run", "name", "worker")
 
 _DDL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -83,6 +88,7 @@ CREATE TABLE IF NOT EXISTS events (
     tick    INTEGER,
     t       REAL,
     name    TEXT,
+    worker  INTEGER,
     payload TEXT NOT NULL,
     PRIMARY KEY (run_id, seq)
 );
@@ -162,10 +168,13 @@ class TelemetryStore:
             )
         elif int(existing) < SCHEMA_VERSION:
             self._migrate(int(existing))
-        # v2 index; created here (not in _DDL) so it lands after a v1
-        # store's migration has added the column.
+        # v2/v3 indexes; created here (not in _DDL) so they land after an
+        # older store's migration has added the columns.
         self._conn.execute(
             "CREATE INDEX IF NOT EXISTS idx_events_name ON events(name)"
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_events_worker ON events(worker)"
         )
 
     def _probe_json1(self) -> bool:
@@ -210,6 +219,34 @@ class TelemetryStore:
                                 "UPDATE events SET name = ?"
                                 " WHERE run_id = ? AND seq = ?",
                                 (str(value), run_id, seq),
+                            )
+            if from_version < 3:
+                columns = {
+                    row[1]
+                    for row in conn.execute("PRAGMA table_info(events)")
+                }
+                if "worker" not in columns:
+                    conn.execute(
+                        "ALTER TABLE events ADD COLUMN worker INTEGER"
+                    )
+                if json1:
+                    conn.execute(
+                        "UPDATE events SET worker ="
+                        " json_extract(payload, '$.worker')"
+                        " WHERE json_extract(payload, '$.worker')"
+                        " IS NOT NULL"
+                    )
+                else:
+                    rows = conn.execute(
+                        "SELECT run_id, seq, payload FROM events"
+                    ).fetchall()
+                    for run_id, seq, payload in rows:
+                        value = json.loads(payload).get("worker")
+                        if value is not None:
+                            conn.execute(
+                                "UPDATE events SET worker = ?"
+                                " WHERE run_id = ? AND seq = ?",
+                                (int(value), run_id, seq),
                             )
             conn.execute(
                 "INSERT INTO meta (key, value) VALUES ('schema_version', ?) "
@@ -314,7 +351,11 @@ class TelemetryStore:
 
         Schema-invalid events are skipped, mirroring the non-strict JSONL
         loader, so store-backed consumers see the same event stream.
+        Shard files (``trace.w<worker>.jsonl``) hoist the worker id from
+        the filename for records missing an explicit ``worker`` stamp.
         """
+        from repro.telemetry.context import shard_worker
+
         path = Path(path).resolve()
         mtime, size = self._stat(path)
         existing = self._existing_run(str(path))
@@ -326,14 +367,25 @@ class TelemetryStore:
         ):
             return existing
         events = [e for e in read_trace(path) if not validate_event(e)]
+        worker_hint = shard_worker(path)
 
         def txn(conn: sqlite3.Connection) -> int:
-            if existing is not None:
+            # Re-check under the write lock: another process may have
+            # ingested this file between the fast-path check above and
+            # BEGIN IMMEDIATE. Concurrent ingests of one file must end
+            # with exactly one run row, never two.
+            row = conn.execute(
+                "SELECT run_id, mtime, size FROM runs WHERE source = ?",
+                (str(path),),
+            ).fetchone()
+            if row is not None:
+                if not force and row[1] == mtime and row[2] == size:
+                    return row[0]  # a concurrent ingest beat us to it
                 conn.execute(
-                    "DELETE FROM events WHERE run_id = ?", (existing.run_id,)
+                    "DELETE FROM events WHERE run_id = ?", (row[0],)
                 )
                 conn.execute(
-                    "DELETE FROM runs WHERE run_id = ?", (existing.run_id,)
+                    "DELETE FROM runs WHERE run_id = ?", (row[0],)
                 )
             cursor = conn.execute(
                 "INSERT INTO runs (source, kind, mtime, size, events) "
@@ -344,8 +396,8 @@ class TelemetryStore:
             conn.executemany(
                 "INSERT INTO events "
                 "(run_id, seq, kind, episode, loop, step, tick, t, name,"
-                " payload) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " worker, payload) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     (
                         run_id,
@@ -361,6 +413,9 @@ class TelemetryStore:
                         None
                         if event.get("name") is None
                         else str(event["name"]),
+                        worker_hint
+                        if event.get("worker") is None
+                        else int(event["worker"]),
                         json.dumps(event, separators=(",", ":")),
                     )
                     for seq, event in enumerate(events)
@@ -380,12 +435,16 @@ class TelemetryStore:
         name = name or path.name
         payload = path.read_text(encoding="utf-8")
         json.loads(payload)  # refuse to store non-JSON
-        existing = self._existing_run(str(path))
 
         def txn(conn: sqlite3.Connection) -> int:
-            if existing is not None:
+            # Same under-the-lock re-check as ingest_trace: concurrent
+            # ingests of one snapshot must not leave duplicate run rows.
+            row = conn.execute(
+                "SELECT run_id FROM runs WHERE source = ?", (str(path),)
+            ).fetchone()
+            if row is not None:
                 conn.execute(
-                    "DELETE FROM runs WHERE run_id = ?", (existing.run_id,)
+                    "DELETE FROM runs WHERE run_id = ?", (row[0],)
                 )
             cursor = conn.execute(
                 "INSERT INTO runs (source, kind, mtime, size, events) "
@@ -409,8 +468,11 @@ class TelemetryStore:
         """Ingest a run directory: traces plus the standard snapshots.
 
         Mirrors what the dashboard reads from a directory — every
-        ``*.jsonl`` trace (sorted by name) and, when present,
+        ``*.jsonl`` trace (sorted by name, which includes per-worker
+        shard files ``trace.w<k>.jsonl``) and, when present,
         ``EXPERIMENTS_metrics.json`` / ``BENCH_telemetry.json``.
+        Each shard ingests as its own run row, so re-ingesting a growing
+        sweep only re-reads the shards that actually changed.
         """
         directory = Path(directory).resolve()
         summary = {"traces": 0, "events": 0, "snapshots": 0}
@@ -446,6 +508,7 @@ class TelemetryStore:
         loop: str | None,
         run: int | None,
         name: str | None = None,
+        worker: int | None = None,
     ) -> tuple[str, list]:
         clauses, params = [], []
         if kind is not None:
@@ -463,6 +526,9 @@ class TelemetryStore:
         if name is not None:
             clauses.append("name = ?")
             params.append(name)
+        if worker is not None:
+            clauses.append("worker = ?")
+            params.append(int(worker))
         where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
         return where, params
 
@@ -474,9 +540,10 @@ class TelemetryStore:
         run: int | None = None,
         limit: int | None = None,
         name: str | None = None,
+        worker: int | None = None,
     ) -> list[dict]:
         """Decoded event records in ingestion order."""
-        where, params = self._where(kind, episode, loop, run, name)
+        where, params = self._where(kind, episode, loop, run, name, worker)
         sql = f"SELECT payload FROM events{where} ORDER BY run_id, seq"
         if limit is not None:
             sql += " LIMIT ?"
@@ -539,10 +606,11 @@ class TelemetryStore:
         loop: str | None = None,
         run: int | None = None,
         name: str | None = None,
+        worker: int | None = None,
     ) -> list[float]:
         """One numeric event field over time (events lacking it skipped)."""
         self._check_field(field)
-        where, params = self._where(kind, episode, loop, run, name)
+        where, params = self._where(kind, episode, loop, run, name, worker)
         if self._json1:
             sql = (
                 f"SELECT json_extract(payload, '$.{field}') "
@@ -558,7 +626,9 @@ class TelemetryStore:
                 pass  # NaN/Infinity payloads are not valid JSON for json1
         return [
             float(event[field])
-            for event in self.events(kind, episode, loop, run, name=name)
+            for event in self.events(
+                kind, episode, loop, run, name=name, worker=worker
+            )
             if field in event and event[field] is not None
         ]
 
@@ -572,6 +642,7 @@ class TelemetryStore:
         run: int | None = None,
         group_by: str | None = None,
         name: str | None = None,
+        worker: int | None = None,
     ) -> list[tuple]:
         """Aggregate one event field, optionally grouped.
 
@@ -595,7 +666,9 @@ class TelemetryStore:
                 "max": f"MAX({expr})",
                 "sum": f"SUM({expr})",
             }[agg]
-            where, params = self._where(kind, episode, loop, run, name)
+            where, params = self._where(
+                kind, episode, loop, run, name, worker
+            )
             not_null = f"{expr} IS NOT NULL"
             where = (
                 where + f" AND {not_null}" if where else f" WHERE {not_null}"
@@ -612,13 +685,14 @@ class TelemetryStore:
             except sqlite3.OperationalError:
                 pass  # NaN/Infinity payloads are not valid JSON for json1
         return self._aggregate_python(
-            field, agg, kind, episode, loop, run, group_by, name
+            field, agg, kind, episode, loop, run, group_by, name, worker
         )
 
     def _aggregate_python(
-        self, field, agg, kind, episode, loop, run, group_by, name=None
+        self, field, agg, kind, episode, loop, run, group_by, name=None,
+        worker=None,
     ) -> list[tuple]:
-        where, params = self._where(kind, episode, loop, run, name)
+        where, params = self._where(kind, episode, loop, run, name, worker)
         sql = f"SELECT run_id, payload FROM events{where} ORDER BY run_id, seq"
         groups: dict[object, list[float]] = {}
         for run_id, payload in self._conn.execute(sql, params):

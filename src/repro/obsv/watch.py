@@ -20,12 +20,21 @@ run:
 ``once=True`` performs a single pass over the current file contents and
 returns — that is the mode tests and post-hoc "did anything trip?"
 checks use on completed traces.
+
+``path`` may also be a **directory** of per-worker trace shards (what a
+sharded run writes — ``trace.w0.jsonl``, ``trace.w1.jsonl``, ...): every
+``*.jsonl`` file is tailed and multiplexed into one view, shards that
+appear mid-run are picked up on the next poll, events missing a
+``worker`` stamp inherit the id from their shard filename, loops are
+displayed (and watchdog'd) per worker as ``<loop>@w<k>``, and fired
+alerts are appended to ``<dir>/alerts.jsonl`` instead of any one shard.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import subprocess
 import sys
 import time
@@ -35,6 +44,7 @@ from pathlib import Path
 
 from repro.obsv.alerts import Alert, WatchConfig, Watchdog
 from repro.obsv.render import fmt, sparkline
+from repro.telemetry.context import shard_worker
 from repro.telemetry.log import get_logger
 from repro.telemetry.trace import TraceWriter
 
@@ -62,6 +72,16 @@ class TraceTail:
         self.path = Path(path)
         self._offset = 0
         self._partial = ""
+
+    def skip_to_end(self) -> None:
+        """Fast-forward past the current contents: poll only the future.
+
+        Used by followers that stream "what is happening now" (``obsv
+        serve``'s SSE feed) rather than replaying the backlog.
+        """
+        if self.path.exists():
+            self._offset = self.path.stat().st_size
+            self._partial = ""
 
     def poll(self) -> list[dict]:
         """Decoded events appended since the previous poll."""
@@ -93,6 +113,51 @@ class TraceTail:
         return events
 
 
+class MultiTail:
+    """Tails every ``*.jsonl`` in a directory, multiplexed into one feed.
+
+    Rescans the directory on each poll, so shards created after the
+    watch started (a late worker joining the pool) are picked up live.
+    Events missing a ``worker`` stamp inherit the id parsed from their
+    shard filename (``trace.w3.jsonl`` → ``worker=3``).
+    """
+
+    def __init__(self, directory: str | Path, pattern: str = "*.jsonl") -> None:
+        self.directory = Path(directory)
+        self.pattern = pattern
+        self._tails: dict[Path, TraceTail] = {}
+
+    def poll(self) -> list[dict]:
+        """New events across all shards, shard-ordered within the batch."""
+        if not self.directory.is_dir():
+            return []
+        events: list[dict] = []
+        for path in sorted(self.directory.glob(self.pattern)):
+            tail = self._tails.get(path)
+            if tail is None:
+                tail = self._tails[path] = TraceTail(path)
+            worker = shard_worker(path)
+            for event in tail.poll():
+                if worker is not None and "worker" not in event:
+                    event["worker"] = worker
+                events.append(event)
+        return events
+
+
+def _worker_labelled(event: dict) -> dict:
+    """Copy of ``event`` with the loop keyed per worker (``loop@w<k>``).
+
+    Makes the multiplexed view keep one row — and the watchdog one
+    rule-state — per (loop, worker) pair, so a single diverging worker
+    is visible against the rest of the pool. Events without a worker
+    stamp (or without a loop) pass through unchanged.
+    """
+    worker = event.get("worker")
+    if worker is None or event.get("loop") is None:
+        return event
+    return {**event, "loop": f"{event['loop']}@w{worker}"}
+
+
 @dataclass
 class _LoopView:
     """Display accumulators for one training loop."""
@@ -118,6 +183,7 @@ class WatchState:
     ticks_seen: int = 0
     loops: dict = field(default_factory=dict)
     alerts: dict = field(default_factory=dict)  # (rule, loop) -> Alert
+    workers: set = field(default_factory=set)  # worker ids seen
 
     def loop(self, name: str) -> _LoopView:
         view = self.loops.get(name)
@@ -127,6 +193,8 @@ class WatchState:
 
     def ingest(self, event: dict) -> None:
         self.events += 1
+        if event.get("worker") is not None:
+            self.workers.add(int(event["worker"]))
         kind = event.get("event")
         if kind == "train_step":
             view = self.loop(str(event.get("loop", "")))
@@ -185,7 +253,12 @@ def render_status(
     width: int = 48,
 ) -> str:
     """The full refreshing terminal view as one multi-line string."""
-    lines = [f"repro.obsv watch — {path} ({state.events} events)"]
+    header = f"repro.obsv watch — {path} ({state.events} events)"
+    if state.workers:
+        header += (
+            f"  workers {','.join(str(w) for w in sorted(state.workers))}"
+        )
+    lines = [header]
     for name, view in sorted(state.loops.items()):
         health = view.health
         parts = [f"loop {name or '?'}: step {view.step}"]
@@ -286,14 +359,21 @@ def watch_trace(
 ) -> int:
     """Tail ``path``, render the live view, and evaluate the watchdogs.
 
-    Returns 0, or 1 when ``exit_on_alert`` is set and any rule fired.
-    ``idle_exit`` stops the follow loop after that many seconds without
-    new events (None = follow until interrupted).
+    ``path`` may be one JSONL trace or a directory of per-worker shards
+    (multiplexed; see module docstring). Returns 0, or 1 when
+    ``exit_on_alert`` is set and any rule fired. ``idle_exit`` stops the
+    follow loop after that many seconds without new events (None =
+    follow until interrupted).
     """
     path = Path(path)
     out = out if out is not None else sys.stdout
     interval = poll_interval(poll)
-    tail = TraceTail(path)
+    if path.is_dir():
+        tail: TraceTail | MultiTail = MultiTail(path)
+        alert_sink = path / "alerts.jsonl"
+    else:
+        tail = TraceTail(path)
+        alert_sink = path
     watchdog = Watchdog(config)
     state = WatchState()
     writer: TraceWriter | None = None
@@ -307,6 +387,7 @@ def watch_trace(
             # Recorded alerts (a previous watch session) sit *after* the
             # events that tripped them; arm the dedup before replaying
             # the batch so re-watching never duplicates an alert.
+            events = [_worker_labelled(event) for event in events]
             for event in events:
                 if event.get("event") == "alert":
                     watchdog.observe(event)
@@ -323,11 +404,15 @@ def watch_trace(
                 )
                 if write_alerts:
                     if writer is None:
-                        writer = TraceWriter(path)
-                    writer.emit("alert", **alert.to_event())
+                        writer = TraceWriter(alert_sink)
+                    record = alert.to_event()
+                    tagged = re.search(r"@w(\d+)$", alert.loop or "")
+                    if tagged:
+                        record["worker"] = int(tagged.group(1))
+                    writer.emit("alert", **record)
                     writer.flush()
                 if on_alert:
-                    _run_alert_hook(on_alert, alert, path)
+                    _run_alert_hook(on_alert, alert, alert_sink)
             if is_tty and not once:
                 out.write("\x1b[2J\x1b[H")  # clear + home between refreshes
             out.write(render_status(state, path, total_steps))

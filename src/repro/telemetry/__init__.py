@@ -15,8 +15,20 @@ state, so instrumented runs are bit-identical to uninstrumented ones.
   traces and per-step training traces, with a schema validator and a
   Chrome ``trace_event`` export (``REPRO_TRACE`` installs a default
   process-wide writer).
+* :mod:`repro.telemetry.context` — cross-process trace context
+  (run/worker identity, parent span path) inherited through
+  ``REPRO_RUN_ID`` / ``REPRO_WORKER_ID``, plus per-worker trace shard
+  files (``REPRO_TRACE_SHARD``) and their merge API.
 """
 
+from repro.telemetry.context import (
+    TraceContext,
+    current_context,
+    merge_shards,
+    new_run_id,
+    shard_path,
+    shard_worker,
+)
 from repro.telemetry.log import configure, get_logger
 from repro.telemetry.metrics import MetricsRegistry, get_registry
 from repro.telemetry.spans import get_tracer, span, timed
@@ -30,6 +42,12 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "TraceContext",
+    "current_context",
+    "merge_shards",
+    "new_run_id",
+    "shard_path",
+    "shard_worker",
     "configure",
     "get_logger",
     "MetricsRegistry",

@@ -1,0 +1,194 @@
+"""Cross-process trace context: who produced this telemetry record?
+
+A single-process run never had to ask — one trace file, one writer, one
+pid. The moment episode evaluation fans out across a worker pool, three
+questions need durable answers on every record: which *run* does this
+event belong to (so N shard files aggregate into one logical sweep),
+which *worker* wrote it (so lanes, tables and alerts can be labelled),
+and what was the parent's open span when the worker was spawned (so the
+child's spans nest under the sweep in the Chrome export).
+
+:class:`TraceContext` carries exactly those fields plus the writer pid.
+It propagates across process boundaries through environment variables —
+``REPRO_RUN_ID``, ``REPRO_WORKER_ID``, ``REPRO_SPAN_PATH`` — which child
+processes inherit for free, so a worker needs zero plumbing: its
+:func:`current_context` reads the environment once and every
+:class:`~repro.telemetry.trace.TraceWriter` stamps the context fields
+(``run``, ``worker``, ``pid``, ``parent``) onto each emitted record.
+
+Sharding
+    ``REPRO_TRACE_SHARD`` (truthy) makes the env-installed default
+    writer redirect ``REPRO_TRACE=trace.jsonl`` to a per-worker shard
+    file ``trace.w<worker>.jsonl`` (:func:`shard_path`), so N workers
+    append to N files and never contend on one. :func:`shard_worker`
+    recovers the worker id from a shard filename and
+    :func:`merge_shards` interleaves shard files back into one event
+    stream ordered by worker — records missing a ``worker`` stamp are
+    labelled from their filename on the way through.
+
+Nothing here touches RNG or simulation state; contexts are identity
+labels, not behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: Environment variables the context survives process boundaries through.
+ENV_RUN_ID = "REPRO_RUN_ID"
+ENV_WORKER_ID = "REPRO_WORKER_ID"
+ENV_SPAN_PATH = "REPRO_SPAN_PATH"
+#: Truthy -> the default writer shards ``REPRO_TRACE`` per worker.
+ENV_TRACE_SHARD = "REPRO_TRACE_SHARD"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+#: ``trace.w<worker>.jsonl`` — the shard naming convention.
+_SHARD_RE = re.compile(r"\.w(\d+)(\.[^.]+)?$")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity stamped onto every trace record a process emits."""
+
+    #: Logical run/sweep id shared by every worker of one launch.
+    run: str
+    #: Worker index within the run (None for the coordinator itself).
+    worker: int | None = None
+    #: Pid of the emitting process (stamped at emit time, informational).
+    pid: int | None = None
+    #: The coordinator's open span path when this worker was spawned
+    #: (e.g. ``"sweep"``); the Chrome export nests worker spans under it.
+    parent: str = ""
+
+    def stamp(self, record: dict) -> dict:
+        """Add the context fields to ``record`` (existing fields win)."""
+        record.setdefault("run", self.run)
+        if self.worker is not None:
+            record.setdefault("worker", int(self.worker))
+        record.setdefault("pid", self.pid if self.pid is not None
+                          else os.getpid())
+        if self.parent:
+            record.setdefault("parent", self.parent)
+        return record
+
+    def child_env(self, worker: int) -> dict[str, str]:
+        """Environment entries a child worker process must inherit."""
+        env = {ENV_RUN_ID: self.run, ENV_WORKER_ID: str(int(worker))}
+        if self.parent:
+            env[ENV_SPAN_PATH] = self.parent
+        return env
+
+
+def new_run_id() -> str:
+    """A fresh, collision-safe run id (identity only — never seeds RNG)."""
+    return uuid.uuid4().hex[:12]
+
+
+_CONTEXT: TraceContext | None = None
+_CONTEXT_CHECKED = False
+
+
+def current_context() -> TraceContext | None:
+    """The process-wide context, from env on first call (else ``None``).
+
+    Returns ``None`` when neither ``REPRO_RUN_ID`` nor ``REPRO_WORKER_ID``
+    is set and no context was installed programmatically — single-process
+    runs keep emitting exactly the records they always did.
+    """
+    global _CONTEXT, _CONTEXT_CHECKED
+    if not _CONTEXT_CHECKED:
+        _CONTEXT_CHECKED = True
+        run = os.environ.get(ENV_RUN_ID, "").strip()
+        raw_worker = os.environ.get(ENV_WORKER_ID, "").strip()
+        if run or raw_worker:
+            worker: int | None = None
+            if raw_worker:
+                try:
+                    worker = int(raw_worker)
+                except ValueError:
+                    worker = None
+            _CONTEXT = TraceContext(
+                run=run or new_run_id(),
+                worker=worker,
+                pid=os.getpid(),
+                parent=os.environ.get(ENV_SPAN_PATH, "").strip(),
+            )
+    return _CONTEXT
+
+
+def set_context(context: TraceContext | None) -> None:
+    """Install (or clear) the process-wide context programmatically."""
+    global _CONTEXT, _CONTEXT_CHECKED
+    _CONTEXT = context
+    _CONTEXT_CHECKED = True
+
+
+def reset_context() -> None:
+    """Forget the cached context; the next call re-reads the environment."""
+    global _CONTEXT, _CONTEXT_CHECKED
+    _CONTEXT = None
+    _CONTEXT_CHECKED = False
+
+
+def shard_enabled() -> bool:
+    """Is per-worker trace sharding requested (``REPRO_TRACE_SHARD``)?"""
+    return os.environ.get(ENV_TRACE_SHARD, "").strip().lower() not in _FALSY
+
+
+def shard_path(base: str | Path, worker: int) -> Path:
+    """Per-worker shard filename: ``trace.jsonl`` -> ``trace.w3.jsonl``."""
+    base = Path(base)
+    return base.with_name(f"{base.stem}.w{int(worker)}{base.suffix}")
+
+
+def shard_worker(path: str | Path) -> int | None:
+    """The worker id encoded in a shard filename (``None`` if not one)."""
+    match = _SHARD_RE.search(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+def find_shards(
+    directory: str | Path, pattern: str = "*.jsonl"
+) -> list[Path]:
+    """Shard files under ``directory``, ordered by worker id then name."""
+    paths = [
+        path
+        for path in Path(directory).glob(pattern)
+        if shard_worker(path) is not None
+    ]
+    return sorted(paths, key=lambda p: (shard_worker(p), p.name))
+
+
+def merge_shards(
+    source: str | Path | Sequence[str | Path],
+    pattern: str = "*.jsonl",
+) -> list[dict]:
+    """Merge shard files into one event stream (per-shard order kept).
+
+    ``source`` is a directory (shards discovered via :func:`find_shards`)
+    or an explicit sequence of paths. Events missing a ``worker`` stamp
+    inherit the id from their shard's filename, so even traces written
+    before context propagation was wired up merge with correct labels.
+    """
+    from repro.telemetry.trace import read_trace
+
+    if isinstance(source, (str, Path)) and Path(source).is_dir():
+        paths: Iterable[Path] = find_shards(source, pattern)
+    elif isinstance(source, (str, Path)):
+        paths = [Path(source)]
+    else:
+        paths = [Path(p) for p in source]
+    merged: list[dict] = []
+    for path in paths:
+        worker = shard_worker(path)
+        for event in read_trace(path):
+            if worker is not None and "worker" not in event:
+                event["worker"] = worker
+            merged.append(event)
+    return merged

@@ -225,6 +225,17 @@ class Tracer:
         if probe in self._probes:
             self._probes.remove(probe)
 
+    def current_path(self) -> str:
+        """The innermost open span path on this thread ("" when none).
+
+        Multi-process launchers capture this at spawn time and hand it to
+        workers as :attr:`~repro.telemetry.context.TraceContext.parent`,
+        so child-process spans nest under the coordinator's span in the
+        merged Chrome export.
+        """
+        stack = self._stack()
+        return stack[-1] if stack else ""
+
     def span(self, name: str):
         """Context manager timing ``name`` (no-op singleton when disabled)."""
         if not self.enabled:

@@ -169,6 +169,23 @@ SCHEMAS: dict[str, dict[str, dict[str, tuple]]] = {
 }
 
 
+#: Cross-process context fields (:mod:`repro.telemetry.context`) accepted
+#: — and type-checked — on every event kind.
+CONTEXT_FIELDS: dict[str, tuple] = {
+    #: Logical run/sweep id shared by all workers of one launch.
+    "run": (str,),
+    #: Worker index within the run.
+    "worker": (int,),
+    #: Pid of the emitting process.
+    "pid": (int,),
+    #: Coordinator span path this worker's spans nest under.
+    "parent": (str,),
+}
+for _schema in SCHEMAS.values():
+    _schema["optional"].update(CONTEXT_FIELDS)
+del _schema
+
+
 def validate_event(event: object) -> list[str]:
     """Schema errors for one decoded event (empty list = valid).
 
@@ -233,10 +250,23 @@ class TraceWriter:
         self,
         path: str | Path | IO[str] | None = None,
         validate: bool = False,
+        context: "TraceContext | None | bool" = True,
     ) -> None:
         """``path=None`` keeps events in ``self.events`` (tests, tooling);
-        ``validate=True`` schema-checks each event at emit time."""
+        ``validate=True`` schema-checks each event at emit time.
+
+        ``context`` controls cross-process stamping: the default inherits
+        the process-wide :func:`~repro.telemetry.context.current_context`
+        (``None`` outside multi-process runs, so single-process traces
+        are unchanged), an explicit :class:`TraceContext` overrides it,
+        and ``context=None`` disables stamping.
+        """
+        from repro.telemetry.context import current_context
+
         self.validate = validate
+        self.context = current_context() if context is True else (
+            context or None
+        )
         self.events: list[dict] = []
         self._own_handle = False
         self._handle: IO[str] | None = None
@@ -254,6 +284,8 @@ class TraceWriter:
     def emit(self, event: str, **fields) -> dict:
         """Write one event; returns the record that was emitted."""
         record = {"event": event, **fields}
+        if self.context is not None:
+            self.context.stamp(record)
         if self.validate:
             errors = validate_event(json.loads(self._dumps(record)))
             if errors:
@@ -322,6 +354,23 @@ def read_trace(path: str | Path, strict: bool = False) -> list[dict]:
     return events
 
 
+def _chrome_lane(event: dict) -> tuple[int, int]:
+    """The (pid, tid) lane a context-stamped event renders into.
+
+    Unstamped single-process events keep the historical ``(0, 0)`` lane.
+    Stamped events use the real writer pid as the Chrome pid and the
+    worker id as the tid, so a merged multi-worker trace fans out into
+    one process track per worker instead of collapsing onto one lane.
+    """
+    worker = event.get("worker")
+    pid = event.get("pid")
+    if pid is None and worker is None:
+        return 0, 0
+    if pid is None:
+        pid = int(worker)
+    return int(pid), int(worker) if worker is not None else 0
+
+
 def to_chrome_trace(
     events: Iterable, path: str | Path | None = None, dropped: int = 0
 ) -> dict:
@@ -331,12 +380,30 @@ def to_chrome_trace(
     complete ``"ph": "X"`` slices, everything else as instant events) or
     the raw ``(path, start_s, duration_s)`` tuples collected by
     :class:`~repro.telemetry.spans.Tracer` with ``record_events`` on.
+
+    Context-stamped events (:mod:`repro.telemetry.context`) land in one
+    pid/tid lane per worker — real pid as the Chrome pid, worker id as
+    the tid — with ``process_name`` / ``thread_name`` metadata events
+    labelling each lane, and span names from workers spawned under an
+    open coordinator span are prefixed with that parent path so the
+    merged export reads as one call tree.
+
     ``dropped`` is the number of events lost to the recording cap
     (:data:`~repro.telemetry.spans.MAX_RAW_EVENTS`); when nonzero a
     ``spans_truncated`` instant marker is embedded after the last slice
     so viewers see the recording was cut, not the run.
     """
     slices = []
+    lanes: dict[tuple[int, int], dict] = {}
+
+    def note_lane(event: dict, pid: int, tid: int) -> None:
+        if "worker" not in event and "pid" not in event:
+            return
+        lanes.setdefault(
+            (pid, tid),
+            {"worker": event.get("worker"), "run": event.get("run")},
+        )
+
     for event in events:
         if isinstance(event, tuple):
             name, start, duration = event
@@ -351,31 +418,73 @@ def to_chrome_trace(
                 }
             )
         elif event.get("event") == "span":
+            pid, tid = _chrome_lane(event)
+            note_lane(event, pid, tid)
+            name = event["name"]
+            parent = event.get("parent")
+            if parent:
+                name = f"{parent}/{name}"
             slices.append(
                 {
-                    "name": event["name"],
+                    "name": name,
                     "ph": "X",
                     "ts": round(event["start_s"] * 1e6, 3),
                     "dur": round(event["duration_s"] * 1e6, 3),
-                    "pid": 0,
-                    "tid": 0,
+                    "pid": pid,
+                    "tid": tid,
                 }
             )
         else:
+            pid, tid = _chrome_lane(event)
+            note_lane(event, pid, tid)
             slices.append(
                 {
                     "name": event.get("event", "event"),
                     "ph": "i",
                     "ts": round(float(event.get("t", 0.0)) * 1e6, 3),
-                    "pid": 0,
-                    "tid": 0,
+                    "pid": pid,
+                    "tid": tid,
                     "s": "g",
                     "args": event,
                 }
             )
+    metadata = []
+    for (pid, tid), info in sorted(lanes.items()):
+        worker = info.get("worker")
+        label = (
+            f"worker {worker} (pid {pid})"
+            if worker is not None
+            else f"pid {pid}"
+        )
+        if info.get("run"):
+            label += f" — run {info['run']}"
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "name": f"worker {worker}" if worker is not None
+                    else "main"
+                },
+            }
+        )
+    slices = metadata + slices
     if dropped:
-        last_ts = max((s["ts"] + s.get("dur", 0.0) for s in slices),
-                      default=0.0)
+        last_ts = max(
+            (s["ts"] + s.get("dur", 0.0) for s in slices if "ts" in s),
+            default=0.0,
+        )
         slices.append(
             {
                 "name": "spans_truncated",
@@ -402,14 +511,32 @@ _DEFAULT_CHECKED = False
 def default_writer() -> TraceWriter | None:
     """The process-wide writer installed via ``REPRO_TRACE`` (else None).
 
+    With ``REPRO_TRACE_SHARD`` set (truthy) and a worker id in the
+    ambient context, the path is redirected to that worker's shard file
+    (``trace.jsonl`` -> ``trace.w<worker>.jsonl``), so every process of
+    a pool appends to its own file instead of contending on one.
+
     The environment variable is read once; call :func:`reset_default_writer`
     to re-read it (tests).
     """
+    from repro.telemetry.context import (
+        current_context,
+        shard_enabled,
+        shard_path,
+    )
+
     global _DEFAULT_WRITER, _DEFAULT_CHECKED
     if not _DEFAULT_CHECKED:
         _DEFAULT_CHECKED = True
         target = os.environ.get("REPRO_TRACE")
         if target:
+            context = current_context()
+            if (
+                shard_enabled()
+                and context is not None
+                and context.worker is not None
+            ):
+                target = shard_path(target, context.worker)
             _DEFAULT_WRITER = TraceWriter(target)
     return _DEFAULT_WRITER
 

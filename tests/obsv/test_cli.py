@@ -68,6 +68,22 @@ class TestCli:
         assert main(["dashboard", str(oracle_trace.parent), "--html"]) == 0
         assert "<!DOCTYPE html>" in capsys.readouterr().out
 
+    def test_serve_and_worker_flags_parse(self):
+        from repro.obsv.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "runs/sweep", "--port", "8123", "--poll", "0.2"]
+        )
+        assert args.dir == "runs/sweep"
+        assert args.port == 8123
+        assert args.host == "127.0.0.1"
+        args = parser.parse_args(
+            ["query", "s.sqlite", "--worker", "3", "--group-by", "worker"]
+        )
+        assert args.worker == 3
+        assert args.group_by == "worker"
+
     def test_regress_exit_codes(self, tmp_path, capsys):
         base = {
             "wall_clock_s": 100.0,

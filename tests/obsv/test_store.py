@@ -110,6 +110,29 @@ class TestIngest:
             info = store.ingest_trace(trace)
             assert info.events == 1
 
+    def test_worker_column_hoisted_and_filterable(self, tmp_path):
+        shard = tmp_path / "trace.w2.jsonl"
+        with TraceWriter(shard) as writer:
+            writer.emit("train_step", loop="l", step=1)  # filename hint
+            writer.emit("train_step", loop="l", step=2, worker=7)  # stamp
+        plain = write_training_trace(tmp_path / "plain.jsonl", loops=("x",))
+        with TelemetryStore(tmp_path / "s.sqlite") as store:
+            store.ingest_trace(shard)
+            store.ingest_trace(plain)
+            assert [
+                e["step"] for e in store.events(kind="train_step", worker=2)
+            ] == [1]
+            assert [
+                e["step"] for e in store.events(kind="train_step", worker=7)
+            ] == [2]
+            # unsharded, unstamped events have no worker: not matched
+            assert store.events(kind="update_health", worker=2) == []
+            counts = dict(
+                store.aggregate("step", agg="count", kind="train_step",
+                                group_by="worker")
+            )
+            assert counts == {2: 1, 7: 1}
+
     def test_is_store_path(self, tmp_path):
         store_path = tmp_path / "anything.bin"
         TelemetryStore(store_path).close()
@@ -338,7 +361,7 @@ class TestSchemaMigration:
     def test_v1_store_migrates_in_place(self, tmp_path):
         path = make_v1_store(tmp_path / "old.sqlite")
         with TelemetryStore(path) as store:
-            assert store.get_meta("schema_version") == "2"
+            assert store.get_meta("schema_version") == "3"
             # name backfilled from payloads: the old rows are filterable
             rows = store.events(kind="profile", name="episode")
             assert len(rows) == 1 and rows[0]["calls"] == 2
@@ -349,7 +372,7 @@ class TestSchemaMigration:
         path = make_v1_store(tmp_path / "old.sqlite")
         TelemetryStore(path).close()  # migrate
         with TelemetryStore(path) as store:  # reopen: no-op
-            assert store.get_meta("schema_version") == "2"
+            assert store.get_meta("schema_version") == "3"
             rows = store.aggregate(
                 "self_s", agg="sum", kind="profile", group_by="name"
             )

@@ -1,0 +1,127 @@
+"""Concurrent multi-process store ingest: idempotent and loss-free.
+
+N real processes ingest the same shard directory into one SQLite store
+at the same time. The ``BEGIN IMMEDIATE`` write path plus the
+under-the-lock re-check in ``ingest_trace`` must leave exactly one run
+row per shard and exactly the shard's events — no duplicates from the
+ingest race, no losses from lock contention.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.obsv.store import TelemetryStore
+
+pytestmark = [pytest.mark.obsv, pytest.mark.watch]
+
+N_SHARDS = 3
+TICKS_PER_SHARD = 20
+
+_INGEST_SCRIPT = """
+import sys
+from repro.obsv.store import TelemetryStore
+
+store_path, run_dir = sys.argv[1], sys.argv[2]
+with TelemetryStore(store_path) as store:
+    summary = store.ingest_dir(run_dir)
+print(summary["events"])
+"""
+
+
+def _write_shards(directory):
+    for worker in range(N_SHARDS):
+        path = directory / f"trace.w{worker}.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            for tick in range(1, TICKS_PER_SHARD + 1):
+                handle.write(
+                    json.dumps(
+                        {
+                            "event": "tick", "episode": worker,
+                            "tick": tick, "t": 0.1 * tick, "delta": 0.0,
+                            "x": 1.0, "y": 0.0, "yaw": 0.0, "speed": 5.0,
+                            "worker": worker,
+                        }
+                    )
+                    + "\n"
+                )
+
+
+def test_parallel_ingest_is_idempotent_and_loss_free(tmp_path):
+    run_dir = tmp_path / "run"
+    run_dir.mkdir()
+    _write_shards(run_dir)
+    store_path = tmp_path / "obsv.sqlite"
+    # Create the store first so the subprocesses race only on ingest,
+    # not on schema creation.
+    TelemetryStore(store_path).close()
+
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _INGEST_SCRIPT,
+             str(store_path), str(run_dir)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for _ in range(4)
+    ]
+    failures = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        if proc.returncode != 0:
+            failures.append(err)
+    assert not failures, "ingest process failed:\n" + "\n".join(failures)
+
+    with TelemetryStore(store_path) as store:
+        runs = store.runs()
+        # One run row per shard — the race never duplicates a source.
+        assert sorted(info.source.rsplit("/", 1)[-1] for info in runs) == [
+            f"trace.w{k}.jsonl" for k in range(N_SHARDS)
+        ]
+        # Every event ingested exactly once.
+        per_worker = dict(
+            store.aggregate("tick", agg="count", group_by="worker")
+        )
+        assert per_worker == {
+            worker: TICKS_PER_SHARD for worker in range(N_SHARDS)
+        }
+
+
+def test_reingest_after_append_replaces_run_in_place(tmp_path):
+    run_dir = tmp_path / "run"
+    run_dir.mkdir()
+    _write_shards(run_dir)
+    store_path = tmp_path / "obsv.sqlite"
+    with TelemetryStore(store_path) as store:
+        store.ingest_dir(run_dir)
+        first = {info.source: info.run_id for info in store.runs()}
+    # A shard grows (the run is still going) and is re-ingested.
+    shard = run_dir / "trace.w0.jsonl"
+    with shard.open("a", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {
+                    "event": "tick", "episode": 0,
+                    "tick": TICKS_PER_SHARD + 1, "t": 9.9, "delta": 0.0,
+                    "x": 1.0, "y": 0.0, "yaw": 0.0, "speed": 5.0,
+                    "worker": 0,
+                }
+            )
+            + "\n"
+        )
+    with TelemetryStore(store_path) as store:
+        store.ingest_dir(run_dir)
+        assert len(store.runs()) == N_SHARDS  # replaced, not appended
+        per_worker = dict(
+            store.aggregate("tick", agg="count", group_by="worker")
+        )
+        assert per_worker[0] == TICKS_PER_SHARD + 1
+        assert per_worker[1] == TICKS_PER_SHARD
+        # untouched shards kept their run ids (ingest was a no-op there)
+        after = {info.source: info.run_id for info in store.runs()}
+        unchanged = [s for s in first if not s.endswith("trace.w0.jsonl")]
+        for source in unchanged:
+            assert after[source] == first[source]

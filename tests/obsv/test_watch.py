@@ -9,7 +9,13 @@ import pytest
 from repro.obsv.alerts import Alert, WatchConfig, Watchdog
 from repro.obsv.cli import main
 from repro.obsv.store import TelemetryStore
-from repro.obsv.watch import TraceTail, WatchState, render_status, watch_trace
+from repro.obsv.watch import (
+    MultiTail,
+    TraceTail,
+    WatchState,
+    render_status,
+    watch_trace,
+)
 from repro.telemetry.trace import TraceWriter, read_trace, validate_event
 
 pytestmark = [pytest.mark.obsv, pytest.mark.watch]
@@ -276,6 +282,61 @@ def write_status_events():
     for i in range(20):
         events.append(step(i, 1.0, done=(i % 10 == 9)))
     return events
+
+
+class TestWatchDirectory:
+    """A directory of per-worker shards multiplexes into one view."""
+
+    def _write_shards(self, directory):
+        for worker in (0, 1):
+            with TraceWriter(
+                directory / f"trace.w{worker}.jsonl", context=None
+            ) as writer:
+                writer.emit(
+                    "update_health", loop="sac", step=10, update=1,
+                    critic_loss=0.5, q_max=2.0,
+                )
+
+    def test_multitail_stamps_worker_and_sees_new_shards(self, tmp_path):
+        self._write_shards(tmp_path)
+        tail = MultiTail(tmp_path)
+        events = tail.poll()
+        assert sorted(e["worker"] for e in events) == [0, 1]
+        assert tail.poll() == []  # incremental
+        with TraceWriter(tmp_path / "trace.w5.jsonl", context=None) as w:
+            w.emit("train_step", loop="sac", step=1)
+        (late,) = tail.poll()
+        assert late["worker"] == 5
+
+    def test_directory_view_shows_per_worker_loops(self, tmp_path, capsys):
+        self._write_shards(tmp_path)
+        assert main(["watch", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "loop sac@w0" in out
+        assert "loop sac@w1" in out
+        assert "workers 0,1" in out
+
+    def test_directory_alerts_tagged_and_written_to_sidecar(
+        self, tmp_path, capsys
+    ):
+        write_diverging_trace(tmp_path / "trace.w3.jsonl")
+        rc = main(["watch", str(tmp_path), "--once", "--exit-on-alert"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "sac-test@w3" in out
+        sidecar = tmp_path / "alerts.jsonl"
+        assert sidecar.exists()
+        (alert,) = read_trace(sidecar)
+        assert alert["event"] == "alert"
+        assert alert["rule"] == "q_divergence"
+        assert alert["loop"] == "sac-test@w3"
+        assert alert["worker"] == 3
+        assert validate_event(alert) == []
+        # The shards themselves were never written to.
+        assert all(
+            e.get("event") != "alert"
+            for e in read_trace(tmp_path / "trace.w3.jsonl")
+        )
 
 
 class TestDivergingSacAcceptance:

@@ -1,0 +1,226 @@
+"""Cross-process trace context: stamping, env inheritance, shards, lanes."""
+
+import json
+
+import pytest
+
+from repro.telemetry.context import (
+    ENV_RUN_ID,
+    ENV_SPAN_PATH,
+    ENV_TRACE_SHARD,
+    ENV_WORKER_ID,
+    TraceContext,
+    current_context,
+    find_shards,
+    merge_shards,
+    new_run_id,
+    reset_context,
+    set_context,
+    shard_path,
+    shard_worker,
+)
+from repro.telemetry.trace import (
+    TraceWriter,
+    default_writer,
+    reset_default_writer,
+    to_chrome_trace,
+    validate_event,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_context(monkeypatch):
+    """Isolate every test from ambient context/env and restore after."""
+    for var in (ENV_RUN_ID, ENV_WORKER_ID, ENV_SPAN_PATH, ENV_TRACE_SHARD,
+                "REPRO_TRACE"):
+        monkeypatch.delenv(var, raising=False)
+    reset_context()
+    reset_default_writer()
+    yield
+    reset_context()
+    reset_default_writer()
+
+
+class TestTraceContext:
+    def test_stamp_adds_identity_fields(self):
+        ctx = TraceContext(run="r1", worker=3, pid=42, parent="sweep")
+        record = ctx.stamp({"event": "tick"})
+        assert record["run"] == "r1"
+        assert record["worker"] == 3
+        assert record["pid"] == 42
+        assert record["parent"] == "sweep"
+
+    def test_stamp_never_overwrites_existing_fields(self):
+        ctx = TraceContext(run="r1", worker=3, pid=42)
+        record = ctx.stamp({"event": "tick", "run": "other", "worker": 9})
+        assert record["run"] == "other"
+        assert record["worker"] == 9
+
+    def test_stamp_without_worker_or_parent_omits_them(self):
+        record = TraceContext(run="r1", pid=1).stamp({"event": "tick"})
+        assert "worker" not in record and "parent" not in record
+
+    def test_context_fields_pass_schema_validation(self):
+        ctx = TraceContext(run="r1", worker=0, pid=7, parent="sweep")
+        record = ctx.stamp(
+            {"event": "train_step", "loop": "sac", "step": 1}
+        )
+        assert validate_event(record) == []
+
+    def test_child_env_round_trips_through_environment(self, monkeypatch):
+        parent = TraceContext(run="runX", worker=None, parent="sweep")
+        for key, value in parent.child_env(worker=5).items():
+            monkeypatch.setenv(key, value)
+        reset_context()
+        child = current_context()
+        assert child is not None
+        assert child.run == "runX"
+        assert child.worker == 5
+        assert child.parent == "sweep"
+
+    def test_no_env_means_no_context(self):
+        assert current_context() is None
+
+    def test_set_context_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_RUN_ID, "env-run")
+        ctx = TraceContext(run="explicit")
+        set_context(ctx)
+        assert current_context() is ctx
+
+    def test_new_run_ids_are_distinct(self):
+        assert new_run_id() != new_run_id()
+
+
+class TestShardFiles:
+    def test_shard_path_and_worker_round_trip(self, tmp_path):
+        base = tmp_path / "trace.jsonl"
+        assert shard_path(base, 3).name == "trace.w3.jsonl"
+        assert shard_worker(shard_path(base, 3)) == 3
+        assert shard_worker(base) is None
+        assert shard_worker("trace.w12.jsonl") == 12
+
+    def test_find_shards_ordered_by_worker(self, tmp_path):
+        for worker in (10, 2, 0):
+            (tmp_path / f"trace.w{worker}.jsonl").write_text("")
+        (tmp_path / "plain.jsonl").write_text("")  # not a shard
+        names = [p.name for p in find_shards(tmp_path)]
+        assert names == ["trace.w0.jsonl", "trace.w2.jsonl",
+                         "trace.w10.jsonl"]
+
+    def test_merge_shards_stamps_worker_from_filename(self, tmp_path):
+        for worker in (0, 1):
+            (tmp_path / f"trace.w{worker}.jsonl").write_text(
+                json.dumps({"event": "train_step", "loop": "l", "step": 1})
+                + "\n"
+            )
+        merged = merge_shards(tmp_path)
+        assert [event["worker"] for event in merged] == [0, 1]
+
+    def test_merge_shards_keeps_explicit_worker_stamp(self, tmp_path):
+        (tmp_path / "trace.w0.jsonl").write_text(
+            json.dumps(
+                {"event": "train_step", "loop": "l", "step": 1, "worker": 7}
+            )
+            + "\n"
+        )
+        (merged,) = merge_shards(tmp_path)
+        assert merged["worker"] == 7
+
+
+class TestWriterStamping:
+    def test_writer_inherits_ambient_context(self):
+        set_context(TraceContext(run="r1", worker=2, pid=9))
+        writer = TraceWriter()
+        record = writer.emit("train_step", loop="l", step=1)
+        assert record["run"] == "r1"
+        assert record["worker"] == 2
+        assert record["pid"] == 9
+
+    def test_writer_without_context_emits_unchanged_records(self):
+        writer = TraceWriter()
+        record = writer.emit("train_step", loop="l", step=1)
+        assert set(record) == {"event", "loop", "step"}
+
+    def test_context_none_disables_stamping(self):
+        set_context(TraceContext(run="r1", worker=2))
+        writer = TraceWriter(context=None)
+        record = writer.emit("train_step", loop="l", step=1)
+        assert "run" not in record
+
+    def test_default_writer_shards_per_worker(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "trace.jsonl"))
+        monkeypatch.setenv(ENV_RUN_ID, "r1")
+        monkeypatch.setenv(ENV_WORKER_ID, "4")
+        monkeypatch.setenv(ENV_TRACE_SHARD, "1")
+        reset_context()
+        reset_default_writer()
+        writer = default_writer()
+        writer.emit("train_step", loop="l", step=1)
+        reset_default_writer()  # close
+        shard = tmp_path / "trace.w4.jsonl"
+        assert shard.exists()
+        (event,) = [
+            json.loads(line) for line in shard.read_text().splitlines()
+        ]
+        assert event["run"] == "r1" and event["worker"] == 4
+
+    def test_default_writer_unsharded_without_flag(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "trace.jsonl"))
+        monkeypatch.setenv(ENV_RUN_ID, "r1")
+        monkeypatch.setenv(ENV_WORKER_ID, "4")
+        reset_context()
+        reset_default_writer()
+        default_writer().emit("train_step", loop="l", step=1)
+        reset_default_writer()
+        assert (tmp_path / "trace.jsonl").exists()
+
+
+class TestChromeLanes:
+    def _span(self, **extra):
+        return {
+            "event": "span", "name": "tick", "start_s": 0.0,
+            "duration_s": 0.5, **extra,
+        }
+
+    def test_unstamped_events_keep_lane_zero(self):
+        doc = to_chrome_trace([self._span()])
+        (sl,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert (sl["pid"], sl["tid"]) == (0, 0)
+        assert not [e for e in doc["traceEvents"] if e["ph"] == "M"]
+
+    def test_stamped_spans_get_worker_lanes_and_metadata(self):
+        events = [
+            self._span(run="r1", worker=0, pid=100),
+            self._span(run="r1", worker=1, pid=101),
+        ]
+        doc = to_chrome_trace(events)
+        lanes = {
+            (e["pid"], e["tid"])
+            for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert lanes == {(100, 0), (101, 1)}
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {
+            "worker 0 (pid 100) — run r1",
+            "worker 1 (pid 101) — run r1",
+        }
+
+    def test_parent_path_prefixes_span_names(self):
+        doc = to_chrome_trace(
+            [self._span(worker=0, pid=1, parent="sweep")]
+        )
+        (sl,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert sl["name"] == "sweep/tick"
+
+    def test_metadata_precedes_slices(self):
+        doc = to_chrome_trace([self._span(worker=0, pid=1)])
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases.index("M") < phases.index("X")
