@@ -1,0 +1,58 @@
+"""Batch-engine throughput bench: lockstep vs scalar headline episodes.
+
+Times the same nominal end-to-end evaluation as ``bench_headline_nominal``
+through :func:`repro.eval.run_episode_batch` and asserts the structural
+speedup the batch engine exists for: >= 10x episodes/sec over the scalar
+reference loop at batch 64. The measured ratio lands in
+``BENCH_telemetry.json`` as the ``batch_speedup_headline_nominal`` gauge,
+so ``python -m repro.obsv regress`` tracks it across PRs like any other
+perf metric.
+"""
+
+import time
+
+import pytest
+
+from repro.eval import run_episode, run_episode_batch
+from repro.telemetry.metrics import get_registry
+
+#: Episodes advanced in lockstep; the README's guidance sweet spot.
+BATCH = 64
+#: Scalar episodes timed for the reference rate (each ~180 ticks).
+SCALAR_EPISODES = 4
+#: The acceptance floor for the structural speedup.
+MIN_SPEEDUP = 10.0
+
+
+@pytest.mark.batch
+@pytest.mark.experiment
+def test_batch_headline_nominal_speedup(benchmark, artifacts_ready):
+    from repro.experiments import registry
+
+    victim = registry.e2e_victim
+
+    start = time.perf_counter()
+    for seed in range(SCALAR_EPISODES):
+        result = run_episode(victim, seed=seed)
+        assert result.collision is None
+    scalar_rate = SCALAR_EPISODES / (time.perf_counter() - start)
+
+    def batched():
+        return run_episode_batch(victim, seeds=list(range(BATCH)))
+
+    start = time.perf_counter()
+    results = benchmark.pedantic(batched, rounds=1, iterations=1)
+    batch_rate = BATCH / (time.perf_counter() - start)
+
+    assert len(results) == BATCH
+    # Same episodes, same outcomes (nominal driving never collides).
+    assert all(r.collision is None for r in results)
+    assert all(r.steps == 180 for r in results)
+
+    speedup = batch_rate / scalar_rate
+    get_registry().gauge("batch_speedup_headline_nominal").set(speedup)
+    get_registry().gauge("batch_episodes_per_s").set(batch_rate)
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch engine {speedup:.1f}x vs scalar, need >= {MIN_SPEEDUP}x"
+        f" ({batch_rate:.1f} vs {scalar_rate:.1f} episodes/s)"
+    )

@@ -61,3 +61,19 @@ class DrivingObservation:
             ]
         )
         return np.concatenate([frames, ego])
+
+    def observe_batch(self, batch) -> np.ndarray:
+        """Policy observations for every episode of a batch, ``[N, dim]``."""
+        frames = self._stack.observe_batch(batch)
+        _, d, _ = batch.ego_frenet()
+        ego = np.stack(
+            [
+                batch.speed[:, 0] / self.reference_speed,
+                batch.steer_act[:, 0],
+                batch.thrust_act[:, 0],
+                d / batch.road.half_width,
+                batch.yaw[:, 0] / math.pi,
+            ],
+            axis=1,
+        )
+        return np.concatenate([frames, ego], axis=1)

@@ -104,3 +104,45 @@ class DrivingReward:
             deviation=deviation,
             collision=collision_term,
         )
+
+    def step_batch(
+        self, batch, plan, collided: np.ndarray
+    ) -> np.ndarray:
+        """Per-episode reward totals for a batch tick, shape ``[N]``.
+
+        Args:
+            batch: the :class:`~repro.sim.batch.BatchWorld` after ticking.
+            plan: the privileged :class:`BatchPlan` computed pre-tick.
+            collided: boolean mask of episodes that collided this tick.
+        """
+        cfg = self.config
+        ego_s, ego_d, _ = batch.ego_frenet()
+
+        target_s = ego_s + cfg.lookahead
+        target_d = plan.reference_offset(target_s)
+        target_xy, _ = batch.road.to_world_batch(target_s, target_d)
+        waypoint = target_xy - batch.ego_position
+        norm = np.sqrt(np.einsum("nj,nj->n", waypoint, waypoint))
+        safe = np.where(norm < 1e-12, 1.0, norm)
+        unit_wp = np.where(
+            (norm < 1e-12)[:, None], 0.0, waypoint / safe[:, None]
+        )
+        progress = np.minimum(
+            np.einsum("nj,nj->n", batch.ego_velocity, unit_wp)
+            / cfg.reference_speed,
+            1.0,
+        )
+
+        speed_error = (
+            np.abs(batch.speed[:, 0] - plan.target_speed)
+            / cfg.reference_speed
+        )
+        speed = -cfg.speed_weight * speed_error
+
+        deviation_m = np.abs(ego_d - plan.reference_offset(ego_s))
+        deviation = -cfg.deviation_weight * (
+            deviation_m / batch.road.config.lane_width
+        )
+
+        collision = np.where(collided, -cfg.collision_penalty, 0.0)
+        return progress + speed + deviation + collision

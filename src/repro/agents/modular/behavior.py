@@ -196,6 +196,171 @@ class BehaviorPlanner:
         return float(np.clip(speed, 0.0, cfg.target_speed))
 
 
+@dataclass(frozen=True)
+class BatchPlan:
+    """One tick's plans for every episode of a batch (SoA mirror of
+    :class:`Plan`): per-episode target lane/speed arrays plus the active
+    lane-change transitions."""
+
+    target_lane: np.ndarray
+    target_speed: np.ndarray
+    lane_offset: np.ndarray
+    #: Cosine-blend transition parameters; rows where ``changing`` is
+    #: False hold stale values and are ignored.
+    changing: np.ndarray
+    s0: np.ndarray
+    d0: np.ndarray
+    s1: np.ndarray
+    d1: np.ndarray
+
+    def reference_offset(self, s: np.ndarray) -> np.ndarray:
+        """Vectorized ``d_ref(s)`` per episode, same blend as scalar."""
+        span = np.where(self.changing, self.s1 - self.s0, 1.0)
+        phase = np.clip((s - self.s0) / span, 0.0, 1.0)
+        blend = self.d0 + (self.d1 - self.d0) * 0.5 * (
+            1.0 - np.cos(math.pi * phase)
+        )
+        offset = np.where(s <= self.s0, self.d0, blend)
+        offset = np.where(s >= self.s1, self.d1, offset)
+        return np.where(self.changing, offset, self.lane_offset)
+
+
+class BatchBehaviorPlanner:
+    """SoA twin of :class:`BehaviorPlanner` for lockstep batch evaluation.
+
+    Runs the identical state machine per episode row — clear finished
+    transitions, find the leader in the *current* target lane, attempt a
+    lane change (left-adjacent candidate first), fall back to ACC — but as
+    whole-batch array expressions. NPC lane membership is re-derived from
+    positions every tick (``lane_at``), exactly like the scalar planner.
+    """
+
+    def __init__(self, road: Road, config: BehaviorConfig | None = None) -> None:
+        self.road = road
+        self.config = config or BehaviorConfig()
+        self._target_lane: np.ndarray | None = None
+        self._changing: np.ndarray | None = None
+        self._s0 = self._d0 = self._s1 = self._d1 = None
+
+    def reset(self, batch) -> None:
+        """Initialize every episode's plan to its ego's spawn lane."""
+        _, d, _ = batch.ego_frenet()
+        lane = self._lane_at(d)
+        self._target_lane = np.where(lane >= 0, lane, 0)
+        self._changing = np.zeros(batch.n, dtype=bool)
+        self._s0 = np.zeros(batch.n)
+        self._d0 = np.zeros(batch.n)
+        self._s1 = np.zeros(batch.n)
+        self._d1 = np.zeros(batch.n)
+
+    def _lane_at(self, d: np.ndarray) -> np.ndarray:
+        """Vectorized ``Road.lane_at``: lane index, or -1 off-road."""
+        road = self.road
+        half = road.config.n_lanes * road.config.lane_width / 2.0
+        lane = np.minimum(
+            ((d + half) / road.config.lane_width).astype(int),
+            road.config.n_lanes - 1,
+        )
+        return np.where(np.abs(d) > half, -1, lane)
+
+    def _lane_offsets(self, lane: np.ndarray) -> np.ndarray:
+        centre = (self.road.config.n_lanes - 1) / 2.0
+        return (lane - centre) * self.road.config.lane_width
+
+    def update(self, batch) -> BatchPlan:
+        """Advance every row's state machine; returns this tick's plans."""
+        if self._target_lane is None:
+            raise RuntimeError("call reset(batch) before update(batch)")
+        cfg = self.config
+        n = batch.n
+        ego_s, ego_d, _ = batch.ego_frenet()
+        ego_speed = batch.speed[:, 0]
+
+        # 1. Clear transitions whose blend interval the ego has passed.
+        self._changing &= ego_s < self._s1
+
+        # 2. Leader search in the current target lane (positions decide
+        #    lane membership, matching the scalar planner).
+        npc_s = batch._npc_s()
+        pts = np.stack(
+            [batch.x[:, 1:].ravel(), batch.y[:, 1:].ravel()], axis=1
+        )
+        _, npc_d, _ = self.road.frenet_batch(pts)
+        npc_lane = self._lane_at(npc_d.reshape(n, batch.m))
+        npc_speed = batch.speed[:, 1:]
+
+        ahead = (npc_lane == self._target_lane[:, None]) & (
+            npc_s > ego_s[:, None]
+        )
+        masked_s = np.where(ahead, npc_s, np.inf)
+        leader_s = masked_s.min(axis=1)
+        has_leader = np.isfinite(leader_s)
+        leader_col = np.argmin(masked_s, axis=1)
+        leader_speed = npc_speed[np.arange(n), leader_col]
+        gap = leader_s - ego_s
+        near = has_leader & (gap < cfg.overtake_trigger)
+
+        # 3. Lane-change attempt for non-transitioning rows with a close
+        #    leader; candidate order matches the scalar planner (+1 first).
+        attempt = ~self._changing & near
+        started = np.zeros(n, dtype=bool)
+        new_lane = self._target_lane.copy()
+        for delta in (1, -1):
+            candidate = self._target_lane + delta
+            valid = (
+                attempt
+                & ~started
+                & (candidate >= 0)
+                & (candidate < self.road.n_lanes)
+            )
+            if not valid.any():
+                continue
+            in_cand = npc_lane == candidate[:, None]
+            rel = npc_s - ego_s[:, None]
+            blocking = (
+                in_cand
+                & (rel >= -cfg.change_rear_gap)
+                & (rel <= cfg.change_front_gap)
+            ).any(axis=1)
+            go = valid & ~blocking
+            if go.any():
+                speed = np.maximum(ego_speed, 4.0)
+                distance = np.maximum(
+                    speed * cfg.change_time, cfg.min_change_distance
+                )
+                self._s0[go] = ego_s[go]
+                self._d0[go] = ego_d[go]
+                self._s1[go] = ego_s[go] + distance[go]
+                self._d1[go] = self._lane_offsets(candidate)[go]
+                new_lane[go] = candidate[go]
+                started |= go
+        self._changing |= started
+        self._target_lane = new_lane
+
+        # 4. ACC fallback: boxed-in rows (no change started) and
+        #    transitioning rows with a close leader track the leader.
+        target_speed = np.full(n, cfg.target_speed)
+        acc = near & ~started
+        if acc.any():
+            acc_speed = np.clip(
+                leader_speed + cfg.acc_gain * (gap - cfg.min_gap),
+                0.0,
+                cfg.target_speed,
+            )
+            target_speed[acc] = acc_speed[acc]
+
+        return BatchPlan(
+            target_lane=self._target_lane.copy(),
+            target_speed=target_speed,
+            lane_offset=self._lane_offsets(self._target_lane),
+            changing=self._changing.copy(),
+            s0=self._s0.copy(),
+            d0=self._d0.copy(),
+            s1=self._s1.copy(),
+            d1=self._d1.copy(),
+        )
+
+
 class GlobalRoutePlanner:
     """Route planning over the lane-graph (the hierarchy's top layer).
 

@@ -62,6 +62,55 @@ class Pid:
         self._last_error = None
 
 
+class BatchPid:
+    """N independent :class:`Pid` loops advanced as one array expression.
+
+    Row ``i`` reproduces a scalar ``Pid`` fed episode ``i``'s errors: the
+    integral clamp, first-step derivative suppression, and output
+    saturation all evaluate per row.
+    """
+
+    def __init__(
+        self,
+        gains: PidGains,
+        dt: float,
+        n: int,
+        output_limit: float = 1.0,
+        integral_limit: float = 1.0,
+    ) -> None:
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        self.gains = gains
+        self.dt = dt
+        self.output_limit = float(output_limit)
+        self.integral_limit = float(integral_limit)
+        self._integral = np.zeros(n)
+        self._last_error = np.zeros(n)
+        self._has_last = np.zeros(n, dtype=bool)
+
+    def step(self, error: np.ndarray) -> np.ndarray:
+        """Advance all loops one tick; returns the saturated outputs."""
+        error = np.asarray(error, dtype=float)
+        self._integral = np.clip(
+            self._integral + error * self.dt,
+            -self.integral_limit,
+            self.integral_limit,
+        )
+        derivative = np.where(
+            self._has_last, (error - self._last_error) / self.dt, 0.0
+        )
+        self._last_error = error.copy()
+        self._has_last[:] = True
+        g = self.gains
+        output = g.kp * error + g.ki * self._integral + g.kd * derivative
+        return np.clip(output, -self.output_limit, self.output_limit)
+
+    def reset(self) -> None:
+        self._integral[:] = 0.0
+        self._last_error[:] = 0.0
+        self._has_last[:] = False
+
+
 #: Default gains tuned for the paper's aggressive freeway configuration.
 LATERAL_GAINS = PidGains(kp=1.9, ki=0.05, kd=0.25)
 LONGITUDINAL_GAINS = PidGains(kp=0.55, ki=0.08, kd=0.0)

@@ -11,9 +11,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.injection import InjectionChannel, InjectionChannelConfig
+from repro.core.injection import (
+    BatchInjectionChannel,
+    InjectionChannel,
+    InjectionChannelConfig,
+)
 from repro.core.observations import CameraAttackObservation, ImuAttackObservation
-from repro.core.rewards import BETA, _omega
+from repro.core.rewards import BETA, _omega, _omega_batch
 from repro.rl.policy import SquashedGaussianPolicy
 from repro.sensors.base import Sensor
 from repro.sim.vehicle import Control
@@ -186,3 +190,147 @@ class LearnedAttacker:
             name=meta.get("name", name),
             **kwargs,
         )
+
+
+# -- batched twins ---------------------------------------------------------------
+#
+# Each scalar attacker has a lockstep counterpart exposing
+# ``deltas(batch) -> [N]`` (called once per tick, before ``batch.tick``).
+# Rows that are already done inject 0 and freeze their effort bookkeeping,
+# so per-episode statistics match a scalar run of the same seed.
+
+
+class BatchNullAttacker:
+    """Batched epsilon = 0 baseline."""
+
+    name = "none"
+    budget = 0.0
+
+    def __init__(self, n: int) -> None:
+        self.n = int(n)
+
+    def deltas(self, batch) -> np.ndarray:
+        return np.zeros(self.n)
+
+    @property
+    def mean_effort(self) -> np.ndarray:
+        return np.zeros(self.n)
+
+
+class BatchOracleAttacker:
+    """Vectorized :class:`OracleAttacker`: one geometry pass for N episodes."""
+
+    name = "oracle"
+
+    def __init__(
+        self,
+        n: int,
+        budget: float = 1.0,
+        beta: float = BETA,
+        max_range: float = 25.0,
+    ) -> None:
+        self.channel = BatchInjectionChannel(
+            InjectionChannelConfig(budget=budget), n=n
+        )
+        self.beta = float(beta)
+        self.max_range = float(max_range)
+
+    @property
+    def budget(self) -> float:
+        return self.channel.budget
+
+    @property
+    def mean_effort(self) -> np.ndarray:
+        return self.channel.mean_effort
+
+    def normalized_actions(self, batch) -> np.ndarray:
+        """The oracle's per-episode decisions in [-1, 1]."""
+        if batch.m == 0:
+            return np.zeros(batch.n)
+        rows = np.arange(batch.n)
+        j = batch.nearest_npc_index()
+        offset = batch.npc_positions[rows, j] - batch.ego_position
+        dist = np.sqrt(np.einsum("nj,nj->n", offset, offset))
+        omega, _, has_dir = _omega_batch(batch)
+        window = (
+            (dist <= self.max_range) & has_dir & (np.abs(omega) <= self.beta)
+        )
+        # Ego-frame lateral offset of the target (footprint().to_local y).
+        yaw = batch.yaw[:, 0]
+        local_y = -offset[:, 0] * np.sin(yaw) + offset[:, 1] * np.cos(yaw)
+        side = np.where(local_y > 0.0, -1.0, 1.0)
+        return np.where(window, side, 0.0)
+
+    def deltas(self, batch) -> np.ndarray:
+        return self.channel.inject(self.normalized_actions(batch), ~batch.done)
+
+
+class BatchLearnedAttacker:
+    """Batched deterministic rollout of a :class:`LearnedAttacker`.
+
+    Rebuilds the camera observation pipeline with batch support and runs
+    the policy through its fused inference plan. Only deterministic
+    camera attackers are supported: the IMU trace sensor has no batched
+    observation path, and stochastic evaluation is done on the scalar
+    path where noise streams are per-episode by construction.
+    """
+
+    def __init__(self, attacker: LearnedAttacker, n: int) -> None:
+        sensor = attacker.sensor
+        if not isinstance(sensor, CameraAttackObservation):
+            raise TypeError(
+                "batched attack rollout requires a camera sensor; "
+                f"got {type(sensor).__name__}"
+            )
+        if not attacker.deterministic:
+            raise TypeError(
+                "batched attack rollout supports deterministic policies only"
+            )
+        self.name = attacker.name
+        self.policy = attacker.policy
+        self.sensor = CameraAttackObservation(
+            camera_config=sensor._stack.inner.config,
+            frames=sensor._stack.k,
+        )
+        self.channel = BatchInjectionChannel(attacker.channel.config, n=n)
+        self.plan = self.policy.inference_plan(n)
+
+    @property
+    def budget(self) -> float:
+        return self.channel.budget
+
+    @property
+    def mean_effort(self) -> np.ndarray:
+        return self.channel.mean_effort
+
+    def normalized_actions(self, batch) -> np.ndarray:
+        obs = self.sensor.observe_batch(batch)
+        actions = self.policy.act_batch(
+            obs, deterministic=True, plan=self.plan
+        )
+        return actions[:, 0]
+
+    def deltas(self, batch) -> np.ndarray:
+        return self.channel.inject(self.normalized_actions(batch), ~batch.done)
+
+
+def as_batch_attacker(attacker, batch):
+    """The lockstep twin of a scalar attacker, sized for ``batch``.
+
+    Raises :class:`TypeError` for attackers with no batched path (IMU
+    sensors, stochastic policies, custom injectors).
+    """
+    if attacker is None or isinstance(attacker, NullAttacker):
+        return BatchNullAttacker(batch.n)
+    if isinstance(attacker, OracleAttacker):
+        return BatchOracleAttacker(
+            batch.n,
+            budget=attacker.budget,
+            beta=attacker.beta,
+            max_range=attacker.max_range,
+        )
+    if isinstance(attacker, LearnedAttacker):
+        return BatchLearnedAttacker(attacker, batch.n)
+    raise TypeError(
+        f"no batched twin for attacker type {type(attacker).__name__}"
+    )

@@ -107,3 +107,79 @@ class InjectionChannel:
         if self.active_steps == 0:
             return 0.0
         return self.active_effort / self.active_steps
+
+
+class BatchInjectionChannel:
+    """N independent :class:`InjectionChannel` lanes advanced per tick.
+
+    Lane ``i`` reproduces a scalar channel fed episode ``i``'s actions:
+    the clip → quantize → noise → clip pipeline and the effort
+    bookkeeping all evaluate per row. Finished episodes are excluded via
+    the ``active`` mask — neither their noise streams nor their effort
+    counters advance, matching a scalar channel that simply stops being
+    called.
+    """
+
+    def __init__(
+        self,
+        config: InjectionChannelConfig | None = None,
+        n: int = 1,
+        rngs: list[np.random.Generator] | None = None,
+    ) -> None:
+        self.config = config or InjectionChannelConfig()
+        self.n = int(n)
+        if rngs is not None and len(rngs) != self.n:
+            raise ValueError(
+                f"need one rng per lane: got {len(rngs)} for n={self.n}"
+            )
+        self.rngs = rngs
+        self.total_effort = np.zeros(self.n)
+        self.steps = np.zeros(self.n, dtype=np.int64)
+        self.active_steps = np.zeros(self.n, dtype=np.int64)
+        self.active_effort = np.zeros(self.n)
+
+    def reset(self) -> None:
+        self.total_effort[:] = 0.0
+        self.steps[:] = 0
+        self.active_steps[:] = 0
+        self.active_effort[:] = 0.0
+
+    @property
+    def budget(self) -> float:
+        return self.config.budget
+
+    def inject(
+        self, normalized_actions: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        """Per-episode perturbations for policy outputs in [-1, 1], ``[N]``.
+
+        Rows where ``active`` is False return 0 and leave all bookkeeping
+        (and noise generators) untouched.
+        """
+        cfg = self.config
+        delta = np.clip(normalized_actions, -1.0, 1.0) * cfg.budget
+        if cfg.quantization > 0.0:
+            delta = np.round(delta / cfg.quantization) * cfg.quantization
+        if cfg.noise_std > 0.0:
+            if self.rngs is None:
+                raise ValueError("noise_std > 0 requires per-lane rngs")
+            for i in np.flatnonzero(active):
+                delta[i] += float(self.rngs[i].normal(0.0, cfg.noise_std))
+        delta = np.clip(delta, -cfg.budget, cfg.budget)
+        delta = np.where(active, delta, 0.0)
+        magnitude = np.abs(delta)
+        self.total_effort[active] += magnitude[active]
+        self.steps[active] += 1
+        hot = active & (magnitude > ACTIVE_THRESHOLD)
+        self.active_steps[hot] += 1
+        self.active_effort[hot] += magnitude[hot]
+        return delta
+
+    @property
+    def mean_effort(self) -> np.ndarray:
+        """Per-episode mean |delta| over active steps (0 where none)."""
+        return np.where(
+            self.active_steps > 0,
+            self.active_effort / np.maximum(self.active_steps, 1),
+            0.0,
+        )

@@ -38,6 +38,9 @@ class CameraAttackObservation(Sensor):
     def observe(self, world: World) -> np.ndarray:
         return self._stack.observe(world)
 
+    def observe_batch(self, batch) -> np.ndarray:
+        return self._stack.observe_batch(batch)
+
     def reset(self) -> None:
         self._stack.reset()
 

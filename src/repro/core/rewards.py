@@ -88,6 +88,36 @@ def _omega(world: World) -> float | None:
     return float(e2n @ npc_dir)
 
 
+def _unit_rows(vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`~repro.utils.geometry.unit`: ``(units, nonzero)``."""
+    norm = np.sqrt(np.einsum("nj,nj->n", vectors, vectors))
+    zero = norm < 1e-12
+    safe = np.where(zero, 1.0, norm)
+    return np.where(zero[:, None], 0.0, vectors / safe[:, None]), ~zero
+
+
+def _omega_batch(
+    batch,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`_omega` over a batch world.
+
+    Returns ``(omega[N], e2n[N, 2], valid[N])`` for each episode's nearest
+    NPC; rows where the scalar ``_omega`` would return ``None`` (no NPC or
+    a zero NPC velocity) have ``valid`` False and ``omega`` 0.
+    """
+    n = batch.n
+    if batch.m == 0:
+        return np.zeros(n), np.zeros((n, 2)), np.zeros(n, dtype=bool)
+    rows = np.arange(n)
+    j = batch.nearest_npc_index()
+    npc_pos = batch.npc_positions[rows, j]
+    npc_vel = batch.npc_velocities[rows, j]
+    e2n, _ = _unit_rows(npc_pos - batch.ego_position)
+    npc_dir, has_dir = _unit_rows(npc_vel)
+    omega = np.einsum("nj,nj->n", e2n, npc_dir)
+    return np.where(has_dir, omega, 0.0), e2n, has_dir
+
+
 class AdversarialReward:
     """Computes ``R_adv`` (camera) or ``R_adv^IMU`` (with teacher term)."""
 
@@ -138,3 +168,44 @@ class AdversarialReward:
             teacher=teacher,
             critical=critical,
         )
+
+    def step_batch(
+        self,
+        batch,
+        delta: np.ndarray,
+        collision_kind: np.ndarray,
+    ) -> np.ndarray:
+        """Per-episode ``R_adv`` totals for a batch tick, shape ``[N]``.
+
+        Args:
+            batch: the :class:`~repro.sim.batch.BatchWorld` after ticking.
+            delta: perturbations injected this tick, ``[N]``.
+            collision_kind: this tick's collision codes
+                (:data:`repro.sim.batch.KIND_SIDE` etc., 0 = none).
+        """
+        from repro.sim.batch import KIND_NONE, KIND_SIDE
+
+        cfg = self.config
+        label = np.where(
+            collision_kind == KIND_SIDE,
+            1.0,
+            np.where(collision_kind != KIND_NONE, -1.0, 0.0),
+        )
+        collision_term = cfg.collision_reward * label
+
+        omega, e2n, has_dir = _omega_batch(batch)
+        critical = has_dir & (np.abs(omega) <= cfg.beta)
+
+        ego_vel = batch.ego_velocity
+        norm = np.sqrt(np.einsum("nj,nj->n", ego_vel, ego_vel))
+        safe = np.where(norm < 1e-12, 1.0, norm)
+        ego_dir = np.where(
+            (norm < 1e-12)[:, None], 0.0, ego_vel / safe[:, None]
+        )
+        potential = np.where(
+            critical, np.einsum("nj,nj->n", e2n, ego_dir), 0.0
+        )
+        maneuver = np.where(
+            critical, 0.0, -cfg.maneuver_weight * np.abs(delta)
+        )
+        return collision_term + potential + maneuver

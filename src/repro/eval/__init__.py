@@ -1,5 +1,6 @@
 """Evaluation: the canonical episode runner and the paper's metrics."""
 
+from repro.eval.batch import run_episode_batch
 from repro.eval.episodes import EpisodeResult, run_episode, run_episodes
 from repro.eval.recorder import Trajectory, record_episode
 from repro.eval.statistics import (
@@ -42,6 +43,7 @@ __all__ = [
     "nominal_reward_stats",
     "reward_reduction",
     "run_episode",
+    "run_episode_batch",
     "run_episodes",
     "success_rate",
     "time_to_collision_stats",

@@ -9,6 +9,7 @@ from attack initiation to collision.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable
 
@@ -243,21 +244,54 @@ def run_episodes(
     attacker_factory: Callable[[], object] | None = None,
     n_episodes: int = 10,
     seed: int = 0,
+    batch_size: int | None = None,
     **kwargs,
 ) -> list[EpisodeResult]:
     """Run ``n_episodes`` with consecutive seeds.
 
     ``attacker_factory`` is called once per episode so attackers with
     internal state (sensors, channels) start fresh each time.
+
+    ``batch_size`` > 1 routes chunks of seeds through the lockstep
+    :func:`~repro.eval.batch.run_episode_batch` engine (``None`` reads
+    ``REPRO_EVAL_BATCH``, default 1 = the scalar reference path). Agents
+    or attackers without a batched twin fall back to the scalar loop.
     """
+    if batch_size is None:
+        batch_size = int(os.environ.get("REPRO_EVAL_BATCH", "1"))
+    seeds = [seed + episode for episode in range(n_episodes)]
+    if batch_size > 1:
+        from repro.eval.batch import run_episode_batch
+
+        try:
+            results = []
+            for start in range(0, n_episodes, batch_size):
+                chunk = seeds[start : start + batch_size]
+                attacker = (
+                    attacker_factory()
+                    if attacker_factory is not None
+                    else None
+                )
+                results.extend(
+                    run_episode_batch(
+                        victim_factory,
+                        attacker=attacker,
+                        seeds=chunk,
+                        **kwargs,
+                    )
+                )
+            return results
+        except TypeError:
+            # No batched twin for this victim/attacker: scalar fallback.
+            pass
     results = []
-    for episode in range(n_episodes):
+    for episode_seed in seeds:
         attacker = attacker_factory() if attacker_factory is not None else None
         results.append(
             run_episode(
                 victim_factory,
                 attacker=attacker,
-                seed=seed + episode,
+                seed=episode_seed,
                 **kwargs,
             )
         )

@@ -163,6 +163,51 @@ def default_tolerance() -> float | None:
     return float(raw) if raw else None
 
 
+def diff_ticks(
+    reference: list[dict],
+    candidate: list[dict],
+    tolerances: dict[str, float] | None = None,
+) -> tuple[list[FieldDiff], dict[str, float], int]:
+    """Field-by-field comparison of two tick streams of one episode.
+
+    The workhorse shared by replay verification and the batch-engine
+    equivalence suite. Fields present in ``reference`` but absent from
+    ``candidate`` are reported as infinite-error diffs; fields absent
+    from ``reference`` are not checked.
+
+    Returns:
+        ``(diffs, max_error, fields_compared)`` — the out-of-tolerance
+        disagreements, the largest |reference - candidate| per field,
+        and how many comparisons ran.
+    """
+    tolerances = dict(tolerances or DEFAULT_TOLERANCES)
+    diffs: list[FieldDiff] = []
+    max_error: dict[str, float] = {}
+    compared = 0
+    for recorded, replayed in zip(reference, candidate):
+        tick = int(recorded["tick"])
+        for fld, tol in tolerances.items():
+            if fld not in recorded:
+                continue
+            if fld not in replayed:
+                diffs.append(
+                    FieldDiff(
+                        tick, fld, recorded[fld], None, float("inf"), tol
+                    )
+                )
+                continue
+            compared += 1
+            error = abs(float(recorded[fld]) - float(replayed[fld]))
+            max_error[fld] = max(max_error.get(fld, 0.0), error)
+            if not (error <= tol) or math.isnan(error):
+                diffs.append(
+                    FieldDiff(
+                        tick, fld, recorded[fld], replayed[fld], error, tol
+                    )
+                )
+    return diffs, max_error, compared
+
+
 def replay_episode(
     episode: EpisodeTrace,
     tolerances: dict[str, float] | None = None,
@@ -227,30 +272,12 @@ def replay_episode(
         steps_replayed=len(replayed_ticks),
         fields_compared=0,
     )
-    for recorded, replayed in zip(episode.ticks, replayed_ticks):
-        tick = int(recorded["tick"])
-        for fld, tol in tolerances.items():
-            if fld not in recorded:
-                # The recorder emits a subset of the runner's fields; a
-                # field absent from the recording is simply not checked.
-                continue
-            if fld not in replayed:
-                # But the replay must reproduce everything recorded.
-                report.diffs.append(
-                    FieldDiff(
-                        tick, fld, recorded[fld], None, float("inf"), tol
-                    )
-                )
-                continue
-            report.fields_compared += 1
-            error = abs(float(recorded[fld]) - float(replayed[fld]))
-            report.max_error[fld] = max(report.max_error.get(fld, 0.0), error)
-            if not (error <= tol) or math.isnan(error):
-                report.diffs.append(
-                    FieldDiff(
-                        tick, fld, recorded[fld], replayed[fld], error, tol
-                    )
-                )
+    # The recorder emits a subset of the runner's fields; fields absent
+    # from the recording are not checked, but the replay must reproduce
+    # everything recorded.
+    report.diffs, report.max_error, report.fields_compared = diff_ticks(
+        episode.ticks, replayed_ticks, tolerances
+    )
 
     if episode.end is not None and replayed_end is not None:
         for fld in ("steps", "collision", "collision_with", "passed_npcs"):

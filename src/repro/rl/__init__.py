@@ -2,13 +2,14 @@
 
 from repro.rl.bc import BcConfig, BehaviorCloner
 from repro.rl.pnn import ProgressivePolicy
-from repro.rl.policy import QNetwork, SquashedGaussianPolicy
+from repro.rl.policy import PolicyInferencePlan, QNetwork, SquashedGaussianPolicy
 from repro.rl.replay import ReplayBuffer
 from repro.rl.sac import Sac, SacConfig
 
 __all__ = [
     "BcConfig",
     "BehaviorCloner",
+    "PolicyInferencePlan",
     "ProgressivePolicy",
     "QNetwork",
     "ReplayBuffer",

@@ -2,12 +2,13 @@
 
 from repro.rl.nn.autograd import Tensor, concat, gaussian_log_prob, minimum
 from repro.rl.nn.flops import FlopCounter, get_flop_counter
-from repro.rl.nn.layers import Linear, Mlp, Module, relu, tanh
+from repro.rl.nn.layers import InferencePlan, Linear, Mlp, Module, relu, tanh
 from repro.rl.nn.optim import Adam, Sgd
 
 __all__ = [
     "Adam",
     "FlopCounter",
+    "InferencePlan",
     "Linear",
     "Mlp",
     "Module",

@@ -127,6 +127,34 @@ class Linear(Module):
 Activation = Callable[[Tensor], Tensor]
 
 
+class InferencePlan:
+    """Preallocated activation buffers for tape-free batched inference.
+
+    One plan pins a ``[max_batch, width]`` output buffer per layer so a
+    steady-state inference loop (policy rollouts, batched evaluation)
+    performs zero allocations per forward: each layer's matmul writes into
+    its buffer (``np.matmul(..., out=)``), the bias add and activation run
+    in place, and the buffer is reused on the next call. Plans are
+    per-network and not thread-safe; results are valid until the next
+    forward that uses the same plan.
+    """
+
+    def __init__(self, widths: Sequence[int], max_batch: int) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = int(max_batch)
+        self._buffers = [
+            np.empty((self.max_batch, int(width))) for width in widths
+        ]
+
+    def out(self, index: int, batch: int) -> np.ndarray:
+        """The ``[batch, width]`` output view for layer ``index``."""
+        return self._buffers[index][:batch]
+
+    def fits(self, batch: int) -> bool:
+        return batch <= self.max_batch
+
+
 def relu(x: Tensor) -> Tensor:
     return x.relu()
 
@@ -178,12 +206,29 @@ class Mlp(Module):
             features.append(x)
         return features
 
-    def forward_np(self, x: np.ndarray) -> np.ndarray:
-        """Fast inference path without building an autodiff graph."""
+    def inference_plan(self, max_batch: int) -> InferencePlan:
+        """Buffers for the fused :meth:`forward_np` path on this stack."""
+        return InferencePlan(
+            [layer.out_dim for layer in self.layers], max_batch
+        )
+
+    def forward_np(
+        self, x: np.ndarray, plan: InferencePlan | None = None
+    ) -> np.ndarray:
+        """Fast inference path without building an autodiff graph.
+
+        With ``plan`` (from :meth:`inference_plan`) and a 2-D input that
+        fits, every Linear+activation pair runs fused into the plan's
+        preallocated buffers — no per-call allocations, identical results
+        (``np.matmul(out=)`` + in-place bias/activation compute the same
+        ops as the allocating expressions). The returned array aliases the
+        plan's last buffer and is only valid until the next planned call.
+        """
         hook = autograd.FLOP_HOOK
         if hook is not None:
             # One batched sweep over the whole stack: matmul + bias +
-            # activation per layer, same bookkeeping as the taped path.
+            # activation per layer, same bookkeeping as the taped path
+            # (shared by the allocating and the fused plan path).
             batch = 1 if x.ndim == 1 else x.shape[0]
             for layer in self.layers:
                 hook.matmul(batch, layer.in_dim, layer.out_dim)
@@ -197,6 +242,21 @@ class Mlp(Module):
                     _activation_op(self.output_activation),
                     batch * self.layers[-1].out_dim,
                 )
+        if plan is not None and x.ndim == 2 and plan.fits(x.shape[0]):
+            batch = x.shape[0]
+            for index, layer in enumerate(self.layers):
+                out = plan.out(index, batch)
+                np.matmul(x, layer.weight.data, out=out)
+                out += layer.bias.data
+                activation = (
+                    self.activation
+                    if index < len(self.layers) - 1
+                    else self.output_activation
+                )
+                if activation is not None:
+                    _apply_np_inplace(activation, out)
+                x = out
+            return x
         for layer in self.layers[:-1]:
             x = x @ layer.weight.data + layer.bias.data
             x = _apply_np(self.activation, x)
@@ -220,3 +280,13 @@ def _apply_np(activation: Activation, x: np.ndarray) -> np.ndarray:
     if activation is tanh:
         return np.tanh(x)
     return activation(Tensor(x)).data
+
+
+def _apply_np_inplace(activation: Activation, x: np.ndarray) -> None:
+    """In-place activation for the fused buffer path."""
+    if activation is relu:
+        np.maximum(x, 0.0, out=x)
+    elif activation is tanh:
+        np.tanh(x, out=x)
+    else:
+        x[...] = activation(Tensor(x)).data

@@ -13,11 +13,39 @@ import numpy as np
 
 from repro.rl.nn import autograd
 from repro.rl.nn.autograd import Tensor, concat, gaussian_log_prob
-from repro.rl.nn.layers import Linear, Mlp, Module, relu
+from repro.rl.nn.layers import InferencePlan, Linear, Mlp, Module, relu
 
 LOG_STD_MIN = -5.0
 LOG_STD_MAX = 2.0
 _LOG2 = math.log(2.0)
+
+
+class PolicyInferencePlan:
+    """Preallocated buffers for the policy's fused no-grad forward.
+
+    Bundles the trunk's :class:`~repro.rl.nn.layers.InferencePlan` with
+    pinned output buffers for the mean/log-std heads and the action, so a
+    steady-state ``act_batch`` loop allocates nothing per call.
+    """
+
+    def __init__(self, policy: "SquashedGaussianPolicy", max_batch: int) -> None:
+        self.max_batch = int(max_batch)
+        self.trunk = policy.trunk.inference_plan(max_batch)
+        self._mean = np.empty((self.max_batch, policy.action_dim))
+        self._log_std = np.empty((self.max_batch, policy.action_dim))
+        self._action = np.empty((self.max_batch, policy.action_dim))
+
+    def fits(self, batch: int) -> bool:
+        return batch <= self.max_batch
+
+    def mean(self, batch: int) -> np.ndarray:
+        return self._mean[:batch]
+
+    def log_std(self, batch: int) -> np.ndarray:
+        return self._log_std[:batch]
+
+    def action(self, batch: int) -> np.ndarray:
+        return self._action[:batch]
 
 
 class SquashedGaussianPolicy(Module):
@@ -77,8 +105,21 @@ class SquashedGaussianPolicy(Module):
 
     # -- numpy inference path ------------------------------------------------------
 
-    def forward_np(self, obs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Mean and log-std without building a graph."""
+    def inference_plan(self, max_batch: int) -> PolicyInferencePlan:
+        """Buffers enabling the fused ``forward_np`` / ``act_batch`` path."""
+        return PolicyInferencePlan(self, max_batch)
+
+    def forward_np(
+        self,
+        obs: np.ndarray,
+        plan: PolicyInferencePlan | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Mean and log-std without building a graph.
+
+        With ``plan``, the trunk and both heads write into preallocated
+        buffers (same ops, fused in place); the returned arrays alias the
+        plan and stay valid until its next use.
+        """
         hook = autograd.FLOP_HOOK
         if hook is not None:
             batch = 1 if obs.ndim == 1 else obs.shape[0]
@@ -86,6 +127,21 @@ class SquashedGaussianPolicy(Module):
                 hook.matmul(batch, head.in_dim, head.out_dim)
                 hook.elementwise("add_fwd", batch * head.out_dim)
             hook.elementwise("tanh_fwd", batch * self.action_dim)
+        if plan is not None and obs.ndim == 2 and plan.fits(obs.shape[0]):
+            batch = obs.shape[0]
+            features = self.trunk.forward_np(obs, plan=plan.trunk)
+            mean = plan.mean(batch)
+            np.matmul(features, self.mean_head.weight.data, out=mean)
+            mean += self.mean_head.bias.data
+            log_std = plan.log_std(batch)
+            np.matmul(features, self.log_std_head.weight.data, out=log_std)
+            log_std += self.log_std_head.bias.data
+            # In place: LOG_STD_MIN + 0.5 * (MAX - MIN) * (tanh(raw) + 1).
+            np.tanh(log_std, out=log_std)
+            log_std += 1.0
+            log_std *= 0.5 * (LOG_STD_MAX - LOG_STD_MIN)
+            log_std += LOG_STD_MIN
+            return mean, log_std
         features = self.trunk.forward_np(obs)
         mean = features @ self.mean_head.weight.data + self.mean_head.bias.data
         raw = (
@@ -114,6 +170,42 @@ class SquashedGaussianPolicy(Module):
             noise = rng.standard_normal(mean.shape)
             action = np.tanh(mean + np.exp(log_std) * noise)
         return action[0] if squeeze else action
+
+    def act_batch(
+        self,
+        obs: np.ndarray,
+        deterministic: bool = False,
+        rngs: list[np.random.Generator] | None = None,
+        plan: PolicyInferencePlan | None = None,
+    ) -> np.ndarray:
+        """Actions for a ``[batch, obs_dim]`` matrix, in ``[-1, 1]``.
+
+        The batched twin of :meth:`act` for lockstep evaluation: one fused
+        forward covers every episode. In sampling mode each row draws its
+        noise from its own generator in ``rngs`` (one per episode), so a
+        batched episode consumes exactly the stream its scalar counterpart
+        would — batch composition never leaks across episodes.
+        """
+        if obs.ndim != 2:
+            raise ValueError("act_batch expects a [batch, obs_dim] matrix")
+        batch = obs.shape[0]
+        mean, log_std = self.forward_np(obs, plan=plan)
+        if deterministic:
+            if plan is not None and plan.fits(batch):
+                action = plan.action(batch)
+                np.tanh(mean, out=action)
+                return action
+            return np.tanh(mean)
+        if rngs is None:
+            rngs = [np.random.default_rng() for _ in range(batch)]
+        if len(rngs) != batch:
+            raise ValueError(
+                f"need one rng per row: got {len(rngs)} for batch {batch}"
+            )
+        noise = np.stack(
+            [rng.standard_normal((1, self.action_dim))[0] for rng in rngs]
+        )
+        return np.tanh(mean + np.exp(log_std) * noise)
 
     def sample_np(
         self, obs: np.ndarray, rng: np.random.Generator

@@ -21,6 +21,16 @@ class Sensor(abc.ABC):
     def observe(self, world: World) -> np.ndarray:
         """Sample the world and return the current observation."""
 
+    def observe_batch(self, batch) -> np.ndarray:
+        """Observations for every episode of a batch world, ``[N, dim]``.
+
+        Optional: only sensors wired into the batch engine implement it
+        (the IMU ring buffer, for instance, stays scalar-only).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no batched observation path"
+        )
+
     @abc.abstractmethod
     def reset(self) -> None:
         """Clear internal state (buffers, stacks) for a new episode."""
@@ -52,6 +62,15 @@ class FrameStack(Sensor):
         else:
             self._frames = self._frames[1:] + [frame]
         return np.concatenate(self._frames)
+
+    def observe_batch(self, batch) -> np.ndarray:
+        """Stacked frames per episode, ``[N, k * inner_dim]``."""
+        frame = self.inner.observe_batch(batch)
+        if not self._frames:
+            self._frames = [frame] * self.k
+        else:
+            self._frames = self._frames[1:] + [frame]
+        return np.concatenate(self._frames, axis=1)
 
     def reset(self) -> None:
         self._frames = []

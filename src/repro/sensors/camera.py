@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sensors.base import Sensor
+from repro.sim.batch import BatchWorld
 from repro.sim.world import World
 from repro.telemetry.spans import timed
 
@@ -72,6 +73,50 @@ def _classify_points(world: World, points: np.ndarray) -> np.ndarray:
     return classes
 
 
+def _classify_points_batch(
+    batch: BatchWorld, points: np.ndarray
+) -> np.ndarray:
+    """Semantic class per point for every episode, shape ``[N, P]``.
+
+    The road/marking layers depend only on geometry shared by the whole
+    batch, so they run over the flattened ``N * P`` points in one pass; the
+    vehicle layer paints each NPC column across all episodes at once, in
+    the same ascending index order as the scalar renderer (later NPCs
+    overwrite earlier ones on overlap).
+    """
+    road = batch.road
+    n, p = points.shape[0], points.shape[1]
+    _, d, _ = road.frenet_batch(points.reshape(-1, 2))
+    d = d.reshape(n, p)
+    classes = np.full((n, p), int(SemanticClass.OFF_ROAD), dtype=np.uint8)
+    on_road = np.abs(d) <= road.half_width
+    classes[on_road] = int(SemanticClass.ROAD)
+    boundaries = np.array(
+        [
+            -road.half_width + i * road.config.lane_width
+            for i in range(road.config.n_lanes + 1)
+        ]
+    )
+    near_marking = (
+        np.min(np.abs(d[..., None] - boundaries), axis=-1)
+        <= _MARKING_HALF_WIDTH
+    )
+    classes[on_road & near_marking] = int(SemanticClass.LANE_MARKING)
+    half_l = batch.config.vehicle.length / 2.0
+    half_w = batch.config.vehicle.width / 2.0
+    for j in range(batch.m):
+        col = 1 + j
+        rel_x = points[..., 0] - batch.x[:, col, None]
+        rel_y = points[..., 1] - batch.y[:, col, None]
+        cos_yaw = np.cos(batch.yaw[:, col, None])
+        sin_yaw = np.sin(batch.yaw[:, col, None])
+        local_x = rel_x * cos_yaw + rel_y * sin_yaw
+        local_y = -rel_x * sin_yaw + rel_y * cos_yaw
+        inside = (np.abs(local_x) <= half_l) & (np.abs(local_y) <= half_w)
+        classes[inside] = int(SemanticClass.VEHICLE)
+    return classes
+
+
 @dataclass(frozen=True)
 class BevCameraConfig:
     """Geometry of the bird's-eye observation grid (ego frame)."""
@@ -117,6 +162,40 @@ class BevCamera(Sensor):
     def observe(self, world: World) -> np.ndarray:
         return (
             self.render(world).astype(np.float64).ravel() / _MAX_CLASS
+        )
+
+    @timed("camera.bev.render_batch")
+    def render_batch(self, batch: BatchWorld) -> np.ndarray:
+        """All N ego-centric class grids in one pass, ``[N, rows, cols]``.
+
+        One call replaces N :meth:`render` invocations: the local grid is
+        rotated/translated into every episode's ego frame by broadcasting,
+        and classification runs over the stacked point cloud.
+        """
+        cos_yaw = np.cos(batch.yaw[:, 0])
+        sin_yaw = np.sin(batch.yaw[:, 0])
+        lx, ly = self._local[:, 0], self._local[:, 1]
+        px = (
+            lx[None, :] * cos_yaw[:, None]
+            - ly[None, :] * sin_yaw[:, None]
+            + batch.x[:, 0, None]
+        )
+        py = (
+            lx[None, :] * sin_yaw[:, None]
+            + ly[None, :] * cos_yaw[:, None]
+            + batch.y[:, 0, None]
+        )
+        points = np.stack([px, py], axis=-1)
+        classes = _classify_points_batch(batch, points)
+        return classes.reshape(batch.n, self.config.rows, self.config.cols)
+
+    def observe_batch(self, batch: BatchWorld) -> np.ndarray:
+        """Flattened normalized grids for every episode, ``[N, cells]``."""
+        return (
+            self.render_batch(batch)
+            .astype(np.float64)
+            .reshape(batch.n, -1)
+            / _MAX_CLASS
         )
 
     def reset(self) -> None:

@@ -6,6 +6,7 @@ classification, lane-keeping NPC drivers, and the Fig. 1(a) overtaking
 scenario builder.
 """
 
+from repro.sim.batch import BatchTickResult, BatchWorld, make_batch_world
 from repro.sim.collision import Collision, CollisionKind
 from repro.sim.config import (
     DEFAULT_SCENARIO,
@@ -22,6 +23,9 @@ from repro.sim.vehicle import Control, Vehicle, VehicleState
 from repro.sim.world import NpcActor, TickResult, World
 
 __all__ = [
+    "BatchTickResult",
+    "BatchWorld",
+    "make_batch_world",
     "Collision",
     "CollisionKind",
     "Control",

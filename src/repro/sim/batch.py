@@ -1,0 +1,550 @@
+"""Structure-of-arrays batch simulation: N episodes ticking in lockstep.
+
+The scalar :class:`~repro.sim.world.World` advances one episode per call
+with per-vehicle Python objects; profiling shows a full bench session is
+dominated by that per-episode Python overhead, not by compute. This module
+re-expresses the same physics over ``[N, ...]`` numpy arrays so one
+``tick`` advances every episode of a batch at once:
+
+* all actor state (ego + NPCs) lives in ``[N, 1 + M]`` arrays (column 0 is
+  the ego, columns ``1..M`` the NPCs in spawn order);
+* the kinematic bicycle model, Eq. (1) actuation smoothing, the
+  lane-keeping NPC drivers, and the vehicle-pair/barrier collision checks
+  are all evaluated as whole-batch array expressions;
+* finished episodes are *frozen* via a per-episode ``done`` mask — their
+  rows stop updating while the batch continues, so every episode sees
+  exactly the trajectory it would have seen running alone.
+
+Determinism contract: the batch engine evaluates the same formulas as the
+scalar world in the same order, but through numpy's SIMD kernels
+(``np.cos`` over an array) instead of ``math.cos`` per scalar. Those
+kernels may differ from libm in the last ulp, so batched trajectories are
+*deterministic for a fixed batch* and match the scalar reference to within
+a tight documented tolerance rather than bit-for-bit (see
+``tests/eval/test_batch_equivalence.py`` for the measured envelope).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.collision import (
+    _FRONT_SECTOR,
+    _REAR_SECTOR,
+    Collision,
+    CollisionKind,
+)
+from repro.sim.config import EPSILON_MECH, ScenarioConfig
+from repro.sim.npc import LaneKeepGains
+from repro.sim.road import Road
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import span
+
+#: Integer collision codes used by the SoA bookkeeping arrays.
+KIND_NONE = 0
+KIND_SIDE = 1
+KIND_FRONT = 2
+KIND_REAR = 3
+KIND_BARRIER = 4
+
+_KIND_TO_ENUM = {
+    KIND_SIDE: CollisionKind.SIDE,
+    KIND_FRONT: CollisionKind.FRONT,
+    KIND_REAR: CollisionKind.REAR,
+    KIND_BARRIER: CollisionKind.BARRIER,
+}
+
+_TWO_PI = 2.0 * math.pi
+
+
+def _normalize_angles(angles: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.utils.geometry.normalize_angle`."""
+    return (angles + math.pi) % _TWO_PI - math.pi
+
+
+@dataclass(frozen=True)
+class BatchTickResult:
+    """Per-episode outcome arrays of one lockstep control step.
+
+    Rows of episodes that were already ``done`` before the call are frozen:
+    their ``step``/``time`` do not advance and ``collision_kind`` is
+    :data:`KIND_NONE` (a collision is reported only on the tick it first
+    happens, matching the scalar :class:`~repro.sim.world.TickResult`).
+    """
+
+    #: Control step count per episode (after this tick).
+    step: np.ndarray
+    #: Simulation time per episode, seconds.
+    time: np.ndarray
+    #: Collision code (KIND_*) of collisions that happened *this tick*.
+    collision_kind: np.ndarray
+    #: Episode-finished flags after this tick.
+    done: np.ndarray
+    #: The steering variation actually applied per episode (post clamp).
+    applied_steer: np.ndarray
+
+    @property
+    def collided(self) -> np.ndarray:
+        return self.collision_kind != KIND_NONE
+
+
+class BatchWorld:
+    """N independent episodes of the overtaking scenario, ticked in lockstep.
+
+    All state is stored as structure-of-arrays with the actor axis second:
+    ``x[i, 0]`` is episode ``i``'s ego, ``x[i, 1 + j]`` its NPC ``j``.
+    Build instances with :func:`make_batch_world`.
+    """
+
+    def __init__(
+        self,
+        road: Road,
+        config: ScenarioConfig,
+        x: np.ndarray,
+        y: np.ndarray,
+        yaw: np.ndarray,
+        speed: np.ndarray,
+        npc_lane: np.ndarray,
+        npc_target_speed: np.ndarray,
+        gains: LaneKeepGains | None = None,
+    ) -> None:
+        if x.ndim != 2 or x.shape[1] < 1:
+            raise ValueError("state arrays must have shape (n, 1 + n_npcs)")
+        self.road = road
+        self.config = config
+        self.n, actors = x.shape
+        self.m = actors - 1
+        self.x = np.array(x, dtype=float)
+        self.y = np.array(y, dtype=float)
+        self.yaw = np.array(yaw, dtype=float)
+        self.speed = np.array(speed, dtype=float)
+        #: Smoothed actuation values a_{t-1} of Eq. (1), per actor.
+        self.steer_act = np.zeros((self.n, actors))
+        self.thrust_act = np.zeros((self.n, actors))
+        self.npc_lane = np.array(npc_lane, dtype=int)
+        self.npc_target_speed = np.array(npc_target_speed, dtype=float)
+        self.gains = gains or LaneKeepGains()
+
+        self.step_count = np.zeros(self.n, dtype=int)
+        self.time = np.zeros(self.n)
+        self.done = np.zeros(self.n, dtype=bool)
+        self.passed = np.zeros((self.n, self.m), dtype=bool)
+        #: First-collision bookkeeping (KIND_NONE / -1 where none yet).
+        self.collision_kind = np.zeros(self.n, dtype=np.int8)
+        self.collision_other = np.full(self.n, -1, dtype=int)
+        self.collision_step = np.zeros(self.n, dtype=int)
+        self.collision_time = np.zeros(self.n)
+
+        cfg = config.vehicle
+        half_l, half_w = cfg.length / 2.0, cfg.width / 2.0
+        # Same corner order as OrientedBox.corners (CCW from front-left).
+        self._corner_local = np.array(
+            [
+                [half_l, half_w],
+                [-half_l, half_w],
+                [-half_l, -half_w],
+                [half_l, -half_w],
+            ]
+        )
+        # Signed lateral offset of each NPC's lane center, [N, M].
+        centre = (road.config.n_lanes - 1) / 2.0
+        self._npc_lane_offset = (
+            (self.npc_lane - centre) * road.config.lane_width
+        )
+
+    # -- ticking -----------------------------------------------------------
+
+    def tick(
+        self,
+        ego_steer: np.ndarray,
+        ego_thrust: np.ndarray,
+        steer_delta: np.ndarray | None = None,
+    ) -> BatchTickResult:
+        """Advance every unfinished episode one control step.
+
+        Args:
+            ego_steer / ego_thrust: the victims' commands, shape ``(n,)``.
+            steer_delta: additive action-space perturbations on the
+                steering variation (``nu' = nu + delta``), shape ``(n,)``.
+
+        Raises:
+            RuntimeError: when every episode is already done.
+        """
+        if bool(self.done.all()):
+            raise RuntimeError("all episodes done; create a new batch")
+        with span("world.tick_batch"):
+            active = ~self.done
+            cfg, vcfg = self.config, self.config.vehicle
+            ego_steer = np.asarray(ego_steer, dtype=float)
+            ego_thrust = np.asarray(ego_thrust, dtype=float)
+            if steer_delta is None:
+                steer_delta = np.zeros(self.n)
+
+            # Control.clipped: both channels to the mechanical limit.
+            p_steer = np.clip(
+                ego_steer + steer_delta, -EPSILON_MECH, EPSILON_MECH
+            )
+            p_thrust = np.clip(ego_thrust, -EPSILON_MECH, EPSILON_MECH)
+            npc_steer, npc_thrust = self._npc_controls()
+            steer_cmd = np.concatenate([p_steer[:, None], npc_steer], axis=1)
+            thrust_cmd = np.concatenate(
+                [p_thrust[:, None], npc_thrust], axis=1
+            )
+
+            # Eq. (1) actuation smoothing, then sub-stepped integration.
+            steer_act = (
+                (1.0 - vcfg.steer_retain) * steer_cmd
+                + vcfg.steer_retain * self.steer_act
+            )
+            thrust_act = (
+                (1.0 - vcfg.thrust_retain) * thrust_cmd
+                + vcfg.thrust_retain * self.thrust_act
+            )
+            x, y = self.x.copy(), self.y.copy()
+            yaw, speed = self.yaw.copy(), self.speed.copy()
+            sub_dt = cfg.dt / cfg.substeps
+            for _ in range(cfg.substeps):
+                accel = np.where(
+                    thrust_act >= 0.0,
+                    thrust_act * vcfg.max_accel,
+                    thrust_act * vcfg.max_brake,
+                )
+                accel = accel - vcfg.drag * speed * speed
+                new_speed = np.clip(
+                    speed + accel * sub_dt, 0.0, vcfg.max_speed
+                )
+                wheel = steer_act * vcfg.max_steer_angle
+                yaw_rate = -new_speed / vcfg.wheelbase * np.tan(wheel)
+                moving = new_speed > 1e-6
+                limit = vcfg.max_lateral_accel / np.where(
+                    moving, new_speed, 1.0
+                )
+                yaw_rate = np.where(
+                    moving, np.clip(yaw_rate, -limit, limit), yaw_rate
+                )
+                mid_yaw = yaw + 0.5 * yaw_rate * sub_dt
+                mid_speed = 0.5 * (speed + new_speed)
+                x = x + mid_speed * np.cos(mid_yaw) * sub_dt
+                y = y + mid_speed * np.sin(mid_yaw) * sub_dt
+                yaw = _normalize_angles(yaw + yaw_rate * sub_dt)
+                speed = new_speed
+
+            # Frozen rows keep their old state verbatim.
+            self.x[active] = x[active]
+            self.y[active] = y[active]
+            self.yaw[active] = yaw[active]
+            self.speed[active] = speed[active]
+            self.steer_act[active] = steer_act[active]
+            self.thrust_act[active] = thrust_act[active]
+            self.step_count[active] += 1
+            self.time[active] += cfg.dt
+
+            kind, other = self._detect_collisions()
+            new_hit = active & (kind != KIND_NONE)
+            if new_hit.any():
+                registry = get_registry()
+                for i in np.flatnonzero(new_hit):
+                    self.collision_kind[i] = kind[i]
+                    self.collision_other[i] = other[i]
+                    self.collision_step[i] = self.step_count[i]
+                    self.collision_time[i] = self.time[i]
+                    registry.counter(
+                        "collisions_total",
+                        kind=_KIND_TO_ENUM[int(kind[i])].name,
+                    ).inc()
+
+            ego_s, _, _ = self.ego_frenet()
+            npc_s = self._npc_s()
+            overtaken = (
+                ego_s[:, None] > npc_s + vcfg.length
+            )
+            self.passed[active] |= overtaken[active]
+            out_of_road = ego_s >= self.road.length - vcfg.length
+            finished = (
+                new_hit
+                | (self.step_count >= cfg.max_steps)
+                | out_of_road
+            )
+            self.done[active] |= finished[active]
+
+            tick_kind = np.where(new_hit, kind, KIND_NONE).astype(np.int8)
+        return BatchTickResult(
+            step=self.step_count.copy(),
+            time=self.time.copy(),
+            collision_kind=tick_kind,
+            done=self.done.copy(),
+            applied_steer=p_steer,
+        )
+
+    # -- NPC drivers -------------------------------------------------------
+
+    def _npc_controls(self) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized lane-keeping feedback for every NPC, [N, M] each."""
+        if self.m == 0:
+            empty = np.zeros((self.n, 0))
+            return empty, empty
+        pts = np.stack(
+            [self.x[:, 1:].ravel(), self.y[:, 1:].ravel()], axis=1
+        )
+        _, d, lane_yaw = self.road.frenet_batch(pts)
+        d = d.reshape(self.n, self.m)
+        lane_yaw = lane_yaw.reshape(self.n, self.m)
+        cross_track = d - self._npc_lane_offset
+        heading_error = _normalize_angles(self.yaw[:, 1:] - lane_yaw)
+        g = self.gains
+        steer = np.clip(
+            g.cross_track * cross_track + g.heading * heading_error,
+            -1.0,
+            1.0,
+        )
+        thrust = np.clip(
+            g.speed * (self.npc_target_speed - self.speed[:, 1:]),
+            -1.0,
+            1.0,
+        )
+        return steer, thrust
+
+    # -- collision detection -----------------------------------------------
+
+    def _corners(self) -> np.ndarray:
+        """World-frame footprint corners of every actor, [N, A, 4, 2]."""
+        cos, sin = np.cos(self.yaw), np.sin(self.yaw)
+        lx = self._corner_local[:, 0]
+        ly = self._corner_local[:, 1]
+        cx = (
+            lx[None, None, :] * cos[:, :, None]
+            - ly[None, None, :] * sin[:, :, None]
+            + self.x[:, :, None]
+        )
+        cy = (
+            lx[None, None, :] * sin[:, :, None]
+            + ly[None, None, :] * cos[:, :, None]
+            + self.y[:, :, None]
+        )
+        return np.stack([cx, cy], axis=-1)
+
+    def _detect_collisions(self) -> tuple[np.ndarray, np.ndarray]:
+        """First collision per episode: ``(kind[N], other[N])`` arrays.
+
+        Mirrors the scalar ``World._detect_collision``: NPCs are tested in
+        spawn order (the lowest-index overlapping NPC wins), the barrier
+        only when no vehicle contact exists.
+        """
+        kind = np.zeros(self.n, dtype=np.int8)
+        other = np.full(self.n, -1, dtype=int)
+        corners = self._corners()
+        ego_corners = corners[:, 0]  # [N, 4, 2]
+        if self.m > 0:
+            npc_corners = corners[:, 1:]  # [N, M, 4, 2]
+            # SAT axes: ego's two face normals + each NPC's two, mirroring
+            # OrientedBox.axes (heading_vector(yaw) and yaw + pi/2).
+            hit = np.ones((self.n, self.m), dtype=bool)
+            for yaw_src, owner in (
+                (self.yaw[:, :1], "ego"),
+                (self.yaw[:, 1:], "npc"),
+            ):
+                for offset in (0.0, math.pi / 2.0):
+                    a = yaw_src + offset
+                    axis = np.stack([np.cos(a), np.sin(a)], axis=-1)
+                    if owner == "ego":
+                        axis = np.broadcast_to(
+                            axis, (self.n, self.m, 2)
+                        )
+                    # Projections of both footprints on the axis, [N, M, 4].
+                    proj_e = np.einsum(
+                        "nkj,nmj->nmk", ego_corners, axis
+                    )
+                    proj_o = np.einsum(
+                        "nmkj,nmj->nmk", npc_corners, axis
+                    )
+                    separated = (
+                        proj_e.max(axis=2) < proj_o.min(axis=2)
+                    ) | (proj_o.max(axis=2) < proj_e.min(axis=2))
+                    hit &= ~separated
+            any_hit = hit.any(axis=1)
+            if any_hit.any():
+                first = np.argmax(hit, axis=1)
+                rows = np.flatnonzero(any_hit)
+                cols = first[rows]
+                dx = self.x[rows, 1 + cols] - self.x[rows, 0]
+                dy = self.y[rows, 1 + cols] - self.y[rows, 0]
+                bearing = np.abs(
+                    _normalize_angles(
+                        np.arctan2(dy, dx) - self.yaw[rows, 0]
+                    )
+                )
+                k = np.full(len(rows), KIND_SIDE, dtype=np.int8)
+                k[bearing <= _FRONT_SECTOR] = KIND_FRONT
+                k[bearing >= _REAR_SECTOR] = KIND_REAR
+                kind[rows] = k
+                other[rows] = cols
+        # Barrier: any ego footprint corner beyond the roadside barriers,
+        # only where no vehicle collision was found.
+        clear = kind == KIND_NONE
+        if clear.any():
+            flat = ego_corners.reshape(-1, 2)
+            _, d, _ = self.road.frenet_batch(flat)
+            off = (
+                np.abs(d.reshape(self.n, 4)) >= self.road.barrier_offset
+            ).any(axis=1)
+            barrier = clear & off
+            kind[barrier] = KIND_BARRIER
+            other[barrier] = -1
+        return kind, other
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def all_done(self) -> bool:
+        return bool(self.done.all())
+
+    @property
+    def ego_position(self) -> np.ndarray:
+        """Ego world positions, ``[N, 2]``."""
+        return np.stack([self.x[:, 0], self.y[:, 0]], axis=1)
+
+    @property
+    def ego_velocity(self) -> np.ndarray:
+        """Ego velocity vectors, ``[N, 2]``."""
+        return self.speed[:, 0, None] * np.stack(
+            [np.cos(self.yaw[:, 0]), np.sin(self.yaw[:, 0])], axis=1
+        )
+
+    @property
+    def npc_positions(self) -> np.ndarray:
+        """NPC world positions, ``[N, M, 2]``."""
+        return np.stack([self.x[:, 1:], self.y[:, 1:]], axis=2)
+
+    @property
+    def npc_velocities(self) -> np.ndarray:
+        """NPC velocity vectors, ``[N, M, 2]``."""
+        return self.speed[:, 1:, None] * np.stack(
+            [np.cos(self.yaw[:, 1:]), np.sin(self.yaw[:, 1:])], axis=2
+        )
+
+    def ego_frenet(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Ego ``(s, d, tangent_yaw)`` arrays on the road reference line."""
+        return self.road.frenet_batch(self.ego_position)
+
+    def _npc_s(self) -> np.ndarray:
+        """NPC arc-length positions, ``[N, M]``."""
+        if self.m == 0:
+            return np.zeros((self.n, 0))
+        pts = np.stack(
+            [self.x[:, 1:].ravel(), self.y[:, 1:].ravel()], axis=1
+        )
+        s, _, _ = self.road.frenet_batch(pts)
+        return s.reshape(self.n, self.m)
+
+    def nearest_npc_index(self) -> np.ndarray:
+        """Index of the Euclidean-closest NPC per episode, ``[N]``."""
+        if self.m == 0:
+            raise ValueError("batch has no NPCs")
+        diff = self.npc_positions - self.ego_position[:, None, :]
+        return np.argmin(
+            np.sqrt(np.einsum("nmj,nmj->nm", diff, diff)), axis=1
+        )
+
+    def nearest_npc_gap(self) -> np.ndarray:
+        """Distance from the ego to its nearest NPC per episode, ``[N]``."""
+        diff = self.npc_positions - self.ego_position[:, None, :]
+        return np.sqrt(np.einsum("nmj,nmj->nm", diff, diff)).min(axis=1)
+
+    @property
+    def passed_npcs(self) -> np.ndarray:
+        """How many NPCs each ego has fully overtaken so far, ``[N]``."""
+        return self.passed.sum(axis=1)
+
+    def collision(self, i: int) -> Collision | None:
+        """Episode ``i``'s collision event (None while not collided)."""
+        code = int(self.collision_kind[i])
+        if code == KIND_NONE:
+            return None
+        other = (
+            "barrier"
+            if code == KIND_BARRIER
+            else f"npc_{int(self.collision_other[i])}"
+        )
+        return Collision(
+            kind=_KIND_TO_ENUM[code],
+            ego="ego",
+            other=other,
+            step=int(self.collision_step[i]),
+            time=float(self.collision_time[i]),
+        )
+
+
+def make_batch_world(
+    config: ScenarioConfig | None = None,
+    seeds: list[int] | None = None,
+    n: int | None = None,
+    road: Road | None = None,
+) -> BatchWorld:
+    """Build ``N`` fresh episode worlds as one :class:`BatchWorld`.
+
+    Episode ``i`` is spawned exactly like ``make_world(config,
+    rng=np.random.default_rng(seeds[i]))`` — same jitter-draw order, same
+    clipping — so batched and scalar runs of the same seed start from
+    bit-identical states. ``seeds=None`` spawns ``n`` unjittered episodes
+    (the ``rng=None`` scalar behaviour).
+    """
+    config = config or ScenarioConfig()
+    road = road or Road.straight(config.road)
+    if seeds is None:
+        if n is None:
+            raise ValueError("provide seeds or n")
+        rngs = [None] * n
+    else:
+        rngs = [np.random.default_rng(s) for s in seeds]
+        n = len(rngs)
+    m = config.n_npcs
+
+    x = np.zeros((n, 1 + m))
+    y = np.zeros((n, 1 + m))
+    yaw = np.zeros((n, 1 + m))
+    speed = np.zeros((n, 1 + m))
+    npc_lane = np.zeros((n, m), dtype=int)
+    npc_target_speed = np.zeros((n, m))
+
+    ego_start_s = 10.0
+    ego_position, ego_yaw = road.lane_center(config.ego_lane, ego_start_s)
+    x[:, 0] = float(ego_position[0])
+    y[:, 0] = float(ego_position[1])
+    yaw[:, 0] = ego_yaw
+    speed[:, 0] = config.ego_speed
+
+    for i, rng in enumerate(rngs):
+        for index in range(m):
+            lane = config.npc_lanes[index % len(config.npc_lanes)]
+            s = ego_start_s + config.first_npc_gap + index * config.npc_spacing
+            npc_speed = config.npc_speed
+            if rng is not None:
+                s += float(
+                    rng.uniform(-config.spawn_jitter, config.spawn_jitter)
+                )
+                npc_speed += float(
+                    rng.uniform(-config.speed_jitter, config.speed_jitter)
+                )
+            s = float(np.clip(s, 0.0, road.length - 10.0))
+            position, npc_yaw = road.lane_center(lane, s)
+            col = 1 + index
+            x[i, col] = float(position[0])
+            y[i, col] = float(position[1])
+            yaw[i, col] = npc_yaw
+            speed[i, col] = max(npc_speed, 0.0)
+            npc_lane[i, index] = lane
+            npc_target_speed[i, index] = max(npc_speed, 0.0)
+
+    return BatchWorld(
+        road=road,
+        config=config,
+        x=x,
+        y=y,
+        yaw=yaw,
+        speed=speed,
+        npc_lane=npc_lane,
+        npc_target_speed=npc_target_speed,
+    )

@@ -138,11 +138,73 @@ class Road:
         d = np.einsum("nj,nj->n", offs, normals[idx])
         return s, d
 
+    def frenet_batch(
+        self, points: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`to_frenet`: ``(s, d, tangent_yaw)`` arrays.
+
+        Mirrors the scalar conversion element-for-element (the axis-aligned
+        fast path is exact; the generic path picks the same nearest segment
+        and evaluates the same projection formulas). Used by the batch
+        engine, where one call replaces N per-episode conversions.
+        """
+        pts = np.asarray(points, dtype=float)
+        if self._axis_aligned:
+            s = np.clip(pts[:, 0] - self._base_x, 0.0, self.length)
+            return s, pts[:, 1] - self._base_y, np.zeros(len(pts))
+        starts = self.centerline[:-1]
+        segs = self.centerline[1:] - starts
+        seg_len2 = np.maximum(np.einsum("ij,ij->i", segs, segs), 1e-12)
+        rel = pts[:, None, :] - starts[None, :, :]
+        t = np.einsum("nmj,mj->nm", rel, segs) / seg_len2[None, :]
+        t = np.clip(t, 0.0, 1.0)
+        foot = starts[None, :, :] + t[..., None] * segs[None, :, :]
+        diff = pts[:, None, :] - foot
+        dist2 = np.einsum("nmj,nmj->nm", diff, diff)
+        idx = np.argmin(dist2, axis=1)
+        rows = np.arange(len(pts))
+        seg_len = np.sqrt(seg_len2)
+        tangents = segs / seg_len[:, None]
+        chosen_t = t[rows, idx]
+        s = self.arclength[idx] + chosen_t * seg_len[idx]
+        normals = np.stack([-tangents[:, 1], tangents[:, 0]], axis=1)
+        offs = diff[rows, idx]
+        d = np.einsum("nj,nj->n", offs, normals[idx])
+        yaw = np.arctan2(tangents[idx, 1], tangents[idx, 0])
+        return s, d, yaw
+
     def to_world(self, s: float, d: float) -> tuple[np.ndarray, float]:
         """Frenet ``(s, d)`` -> world position and tangent heading."""
         base, yaw = interpolate_polyline(s, self.centerline, self.arclength)
         normal = np.array([-math.sin(yaw), math.cos(yaw)])
         return base + d * normal, yaw
+
+    def to_world_batch(
+        self, s: np.ndarray, d: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`to_world`: positions ``(n, 2)`` + headings ``(n,)``.
+
+        Evaluates the same interpolation formula as
+        :func:`~repro.utils.geometry.interpolate_polyline` element-wise
+        (same segment choice via ``searchsorted``, same lerp), so straight
+        roads reproduce the scalar result bit-for-bit.
+        """
+        s = np.asarray(s, dtype=float)
+        d = np.asarray(d, dtype=float)
+        s_c = np.clip(s, 0.0, self.length)
+        idx = np.searchsorted(self.arclength, s_c, side="right") - 1
+        idx = np.clip(idx, 0, len(self.centerline) - 2)
+        seg_start = self.arclength[idx]
+        span = np.maximum(self.arclength[idx + 1] - seg_start, 1e-12)
+        t = (s_c - seg_start) / span
+        base = (
+            self.centerline[idx] * (1.0 - t)[:, None]
+            + self.centerline[idx + 1] * t[:, None]
+        )
+        direction = self.centerline[idx + 1] - self.centerline[idx]
+        yaw = np.arctan2(direction[:, 1], direction[:, 0])
+        normal = np.stack([-np.sin(yaw), np.cos(yaw)], axis=1)
+        return base + d[:, None] * normal, yaw
 
     # -- lanes -------------------------------------------------------------
 

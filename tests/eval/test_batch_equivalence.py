@@ -1,0 +1,182 @@
+"""Scalar vs batch engine equivalence: the contract behind the speedup.
+
+Every configuration the paper evaluates — nominal and attacked, modular
+and end-to-end — must produce the same episodes whether run through
+:func:`repro.eval.run_episode` or in lockstep through
+:func:`repro.eval.run_episode_batch`. Discrete outcomes (steps,
+collisions, passed NPCs) must match exactly; floats must match within
+the replay tolerances of :mod:`repro.obsv.replay`, whose diff machinery
+does the tick-by-tick comparison here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents.modular import ModularAgent
+from repro.core import OracleAttacker
+from repro.eval import run_episode, run_episode_batch, run_episodes
+from repro.experiments import registry
+from repro.obsv.replay import DEFAULT_TOLERANCES, diff_ticks
+from repro.telemetry.trace import TraceWriter
+
+pytestmark = pytest.mark.batch
+
+SEEDS = [3, 7, 19, 31]
+
+needs_artifacts = pytest.mark.skipif(
+    not (
+        registry.has_artifact(registry.E2E_DRIVER)
+        and registry.has_artifact(registry.CAMERA_ATTACKER_E2E)
+    ),
+    reason="shipped artifacts missing; run examples/train_all.py",
+)
+
+
+def modular_victim(world):
+    return ModularAgent(world.road)
+
+
+def _ticks_by_episode(writer: TraceWriter) -> dict:
+    ticks: dict = {}
+    for event in writer.events:
+        if event["event"] == "tick":
+            ticks.setdefault(event["episode"], []).append(event)
+    return ticks
+
+
+def assert_equivalent(victim_factory, attacker_factory, seeds=SEEDS):
+    scalar_writer = TraceWriter()
+    scalar = [
+        run_episode(
+            victim_factory,
+            attacker=attacker_factory(),
+            seed=seed,
+            trace=scalar_writer,
+        )
+        for seed in seeds
+    ]
+    batch_writer = TraceWriter()
+    batched = run_episode_batch(
+        victim_factory,
+        attacker=attacker_factory(),
+        seeds=seeds,
+        trace=batch_writer,
+    )
+
+    assert len(batched) == len(scalar)
+    for seed, a, b in zip(seeds, scalar, batched):
+        # Discrete outcomes: exact.
+        assert b.steps == a.steps, f"seed {seed}"
+        assert b.passed_npcs == a.passed_npcs, f"seed {seed}"
+        assert (b.collision is None) == (a.collision is None), f"seed {seed}"
+        if a.collision is not None:
+            assert b.collision.kind is a.collision.kind
+            assert b.collision.other == a.collision.other
+            assert b.collision.step == a.collision.step
+        # Aggregates: replay tolerance.
+        for fld in (
+            "duration",
+            "nominal_return",
+            "adversarial_return",
+            "mean_effort",
+            "deviation_rmse",
+            "deviation_max",
+        ):
+            assert getattr(b, fld) == pytest.approx(
+                getattr(a, fld), abs=1e-9
+            ), f"seed {seed}: {fld}"
+        if a.time_to_collision is None:
+            assert b.time_to_collision is None
+        else:
+            assert b.time_to_collision == pytest.approx(
+                a.time_to_collision, abs=1e-9
+            )
+
+    # Tick-by-tick through the replay diff machinery.
+    scalar_ticks = _ticks_by_episode(scalar_writer)
+    batch_ticks = _ticks_by_episode(batch_writer)
+    for seed in seeds:
+        assert len(batch_ticks[seed]) == len(scalar_ticks[seed])
+        diffs, _, compared = diff_ticks(
+            scalar_ticks[seed], batch_ticks[seed], DEFAULT_TOLERANCES
+        )
+        assert compared > 0
+        assert not diffs, f"seed {seed}: {[str(d) for d in diffs[:5]]}"
+    return scalar, batched
+
+
+class TestModularEquivalence:
+    def test_nominal(self):
+        assert_equivalent(modular_victim, lambda: None)
+
+    def test_oracle_attacked(self):
+        scalar, _ = assert_equivalent(
+            modular_victim, lambda: OracleAttacker(budget=1.0)
+        )
+        # The sweep must actually exercise the attacked regime.
+        assert any(r.collision is not None for r in scalar)
+
+
+@needs_artifacts
+class TestEndToEndEquivalence:
+    def test_nominal(self):
+        assert_equivalent(registry.e2e_victim, lambda: None, seeds=SEEDS[:2])
+
+    def test_camera_attacked(self):
+        scalar, _ = assert_equivalent(
+            registry.e2e_victim,
+            lambda: registry.camera_attacker(0.7, victim="e2e"),
+            seeds=SEEDS[:2],
+        )
+        assert any(r.collision is not None for r in scalar)
+
+
+class TestRunEpisodesBatchRouting:
+    def test_batch_size_routes_and_matches_scalar(self):
+        scalar = run_episodes(modular_victim, n_episodes=5, seed=3)
+        batched = run_episodes(
+            modular_victim, n_episodes=5, seed=3, batch_size=2
+        )
+        for a, b in zip(scalar, batched):
+            assert a.steps == b.steps
+            assert a.nominal_return == pytest.approx(
+                b.nominal_return, abs=1e-9
+            )
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_BATCH", "3")
+        scalar = run_episodes(modular_victim, n_episodes=3, seed=11)
+        monkeypatch.delenv("REPRO_EVAL_BATCH")
+        reference = run_episodes(modular_victim, n_episodes=3, seed=11)
+        for a, b in zip(scalar, reference):
+            assert a.steps == b.steps
+
+    def test_unsupported_victim_falls_back_to_scalar(self):
+        # No batched twin -> TypeError inside the batch route -> scalar.
+        results = run_episodes(
+            lambda world: _OddVictim(world),
+            n_episodes=2,
+            seed=0,
+            batch_size=2,
+        )
+        assert len(results) == 2
+        reference = run_episodes(
+            lambda world: _OddVictim(world), n_episodes=2, seed=0
+        )
+        for a, b in zip(results, reference):
+            assert a.steps == b.steps
+
+
+class _OddVictim:
+    """A custom agent with no batched twin (exercises the fallback)."""
+
+    name = "odd"
+
+    def __init__(self, world):
+        self._inner = ModularAgent(world.road)
+
+    def reset(self, world):
+        self._inner.reset(world)
+
+    def act(self, world):
+        return self._inner.act(world)

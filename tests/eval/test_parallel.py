@@ -118,6 +118,31 @@ class TestSerialPath:
         assert current_context() is before_ctx
         assert _DEFAULT_WRITER is None
 
+    @pytest.mark.batch
+    def test_batched_shard_matches_scalar_shard(self, tmp_path):
+        scalar = run_sweep(
+            n_episodes=4, workers=1, attacker="oracle", run_id="scalarrun",
+        )
+        batched = run_sweep(
+            n_episodes=4, workers=1, attacker="oracle", batch=4,
+            out_dir=tmp_path, run_id="batchedrun",
+        )
+        assert batched.seeds == scalar.seeds
+        for a, b in zip(scalar.results, batched.results):
+            assert a.steps == b.steps
+            assert (a.collision is None) == (b.collision is None)
+            assert a.nominal_return == pytest.approx(
+                b.nominal_return, abs=1e-9
+            )
+        # Batched shards still write schema-valid per-worker traces.
+        assert [p.name for p in batched.trace_paths] == ["trace.w0.jsonl"]
+        events = [
+            json.loads(line)
+            for line in batched.trace_paths[0].read_text().splitlines()
+        ]
+        assert validate_trace(events) == []
+        assert sum(e["event"] == "episode_end" for e in events) == 4
+
     def test_rejects_unknown_victim_and_attacker(self, tmp_path):
         with pytest.raises(ValueError, match="victim"):
             run_sweep(n_episodes=1, workers=1, victim="nope")

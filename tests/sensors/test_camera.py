@@ -78,6 +78,42 @@ class TestBevCamera:
         np.testing.assert_array_equal(first, camera.observe(quiet_world))
 
 
+@pytest.mark.batch
+class TestBevCameraBatch:
+    def test_render_batch_matches_scalar_grids(self):
+        from repro.sim import ScenarioConfig, make_batch_world
+        from repro.sim.scenario import make_world as make_scalar
+
+        cfg = ScenarioConfig()
+        seeds = [0, 5, 9]
+        batch = make_batch_world(cfg, seeds=seeds)
+        camera = BevCamera(BevCameraConfig(rows=12, cols=8))
+        grids = camera.render_batch(batch)
+        assert grids.shape == (len(seeds), 12, 8)
+        for i, seed in enumerate(seeds):
+            world = make_scalar(cfg, rng=np.random.default_rng(seed))
+            np.testing.assert_array_equal(grids[i], camera.render(world))
+
+    def test_observe_batch_matches_scalar_after_ticks(self):
+        from repro.sim import ScenarioConfig, make_batch_world
+        from repro.sim.scenario import make_world as make_scalar
+
+        cfg = ScenarioConfig()
+        seeds = [3, 7]
+        batch = make_batch_world(cfg, seeds=seeds)
+        worlds = [
+            make_scalar(cfg, rng=np.random.default_rng(s)) for s in seeds
+        ]
+        for _ in range(5):
+            for world in worlds:
+                world.tick(Control(steer=0.2, thrust=0.5))
+            batch.tick(np.full(2, 0.2), np.full(2, 0.5))
+        camera = BevCamera()
+        obs = camera.observe_batch(batch)
+        for i, world in enumerate(worlds):
+            np.testing.assert_array_equal(obs[i], camera.observe(world))
+
+
 class TestPanoramaCamera:
     def test_paper_resolution(self):
         camera = PanoramaCamera()
