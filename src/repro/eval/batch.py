@@ -18,6 +18,7 @@ e.g. via ``repro.obsv.replay.diff_ticks``.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Sequence
 
 import numpy as np
@@ -33,7 +34,8 @@ from repro.sim.batch import KIND_NONE, make_batch_world
 from repro.sim.config import ScenarioConfig
 from repro.sim.scenario import make_world
 from repro.telemetry.metrics import get_registry
-from repro.telemetry.spans import span
+from repro.telemetry.provenance import stamp_provenance
+from repro.telemetry.spans import get_tracer, span
 from repro.telemetry.trace import TraceWriter, default_writer
 
 
@@ -91,6 +93,7 @@ def run_episode_batch(
     if len(ids) != n:
         raise ValueError(f"need one episode id per seed: got {len(ids)}")
     if trace is not None:
+        stamp_provenance(trace, scenario)
         for i in range(n):
             trace.emit(
                 "episode_start",
@@ -119,7 +122,12 @@ def run_episode_batch(
     previous_gap = np.full(n, np.nan)
     lane_width = batch.road.config.lane_width
 
+    tracer = get_tracer()
+    batch_path = ""
+    batch_start = time.perf_counter()
     with span("episode_batch"):
+        if tracer.enabled:
+            batch_path = tracer.current_path()
         while not batch.all_done:
             live = ~batch.done
             plan = planner.update(batch)
@@ -178,6 +186,26 @@ def run_episode_batch(
                                 fields["ttc"] = float(gap[i] / closing)
                         previous_gap[i] = gap[i]
                     trace.emit("tick", **fields)
+
+    if batch_path:
+        # Scalar-path parity: credit each episode its share of the batch
+        # wall-clock as a child span, weighted by the steps it ran. The
+        # lockstep loop advances all rows together, so per-step cost is
+        # the fairest per-episode attribution available without timing
+        # each row separately (which the vectorized loop cannot do).
+        batch_total = time.perf_counter() - batch_start
+        steps = np.maximum(batch.step_count.astype(float), 1.0)
+        shares = steps / steps.sum()
+        offset = batch_start
+        for i in range(n):
+            duration = float(batch_total * shares[i])
+            # No parent child_total credit: the tick spans inside the
+            # batch already credited it, and double-counting would zero
+            # out episode_batch's self time in profiles.
+            tracer.record(
+                f"{batch_path}/episode", duration, start=offset
+            )
+            offset += duration
 
     registry = get_registry()
     results: list[EpisodeResult] = []

@@ -26,6 +26,7 @@ from repro.sim.config import ScenarioConfig
 from repro.sim.scenario import make_world
 from repro.sim.world import World
 from repro.telemetry.metrics import get_registry
+from repro.telemetry.provenance import stamp_provenance
 from repro.telemetry.spans import span
 from repro.telemetry.trace import TraceWriter, default_writer
 
@@ -103,6 +104,7 @@ def run_episode(
     trace = trace if trace is not None else default_writer()
     episode_id = episode_id if episode_id is not None else seed
     if trace is not None:
+        stamp_provenance(trace, scenario)
         trace.emit(
             "episode_start",
             episode=episode_id,

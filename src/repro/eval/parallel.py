@@ -29,6 +29,7 @@ Run the demo end to end::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
@@ -47,6 +48,7 @@ from repro.telemetry.context import (
     shard_path,
 )
 from repro.telemetry.log import get_logger
+from repro.telemetry.provenance import ENV_PROVENANCE, collect
 from repro.telemetry.spans import get_tracer, span
 from repro.telemetry.trace import (
     TraceWriter,
@@ -80,6 +82,10 @@ class ShardSpec:
     run: str = ""
     #: The coordinator's open span path at dispatch time.
     parent: str = ""
+    #: Coordinator provenance as JSON ("" = collect in the worker);
+    #: installed as ``REPRO_PROVENANCE`` so every shard stamps the same
+    #: git SHA / config hash / weights checksums.
+    provenance: str = ""
 
 
 @dataclass
@@ -196,6 +202,10 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
         os.environ[ENV_SPAN_PATH] = spec.parent
     else:
         os.environ.pop(ENV_SPAN_PATH, None)
+    if spec.provenance:
+        os.environ[ENV_PROVENANCE] = spec.provenance
+    else:
+        os.environ.pop(ENV_PROVENANCE, None)
     if spec.out_dir is not None:
         os.environ["REPRO_TRACE"] = str(Path(spec.out_dir) / "trace.jsonl")
         os.environ[ENV_TRACE_SHARD] = "1"
@@ -237,6 +247,12 @@ def _run_shard_serial(spec: ShardSpec) -> ShardOutcome:
             shard_path(Path(spec.out_dir) / "trace.jsonl", spec.worker),
             context=context,
         )
+        if spec.provenance:
+            # Stamp the coordinator's block directly (the serial path
+            # must not mutate process environment); the episode runners
+            # then see the writer as already stamped.
+            writer.emit("provenance", **json.loads(spec.provenance))
+            writer._provenance_stamped = True
     try:
         results = _execute(spec, writer)
     finally:
@@ -283,6 +299,18 @@ def run_sweep(
         out_dir.mkdir(parents=True, exist_ok=True)
     workers = max(1, min(int(workers), len(seeds))) if seeds else 1
 
+    # Collect provenance once in the coordinator — including checkpoint
+    # checksums for weight-backed victims — so every shard stamps an
+    # identical block and the store can group the whole sweep as one run.
+    weights = None
+    if victim == "e2e":
+        from repro.experiments import registry
+
+        weights = registry.artifact_checksums((registry.E2E_DRIVER,))
+    provenance_json = json.dumps(
+        collect(weights=weights).to_json(), sort_keys=True
+    )
+
     shards: list[ShardOutcome] = []
     with span("sweep"):
         parent = get_tracer().current_path()
@@ -297,6 +325,7 @@ def run_sweep(
                 out_dir=None if out_dir is None else str(out_dir),
                 run=run_id,
                 parent=parent,
+                provenance=provenance_json,
             )
             for k in range(workers)
             if seeds[k::workers]

@@ -220,6 +220,9 @@ def record_episode(
     trace = trace if trace is not None else default_writer()
     episode_id = episode_id if episode_id is not None else seed
     if trace is not None:
+        from repro.telemetry.provenance import stamp_provenance
+
+        stamp_provenance(trace, scenario)
         trace.emit(
             "episode_start",
             episode=episode_id,

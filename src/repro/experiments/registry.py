@@ -64,6 +64,38 @@ def has_artifact(name: str) -> bool:
         return False
 
 
+#: Every artifact name a full reproduction uses (provenance default).
+ALL_ARTIFACTS = (
+    E2E_DRIVER,
+    CAMERA_ATTACKER_E2E,
+    CAMERA_ATTACKER_MODULAR,
+    IMU_ATTACKER,
+    FINETUNED_RHO_11,
+    FINETUNED_RHO_2,
+    PNN_COLUMN,
+)
+
+
+def artifact_checksums(names: tuple[str, ...] | None = None) -> dict[str, str]:
+    """``{artifact name: "sha256:..."}`` for every present checkpoint.
+
+    Missing artifacts are silently omitted (a nominal-only run has no
+    weights to attest). Feed the result to
+    :func:`repro.telemetry.provenance.collect` so run provenance pins the
+    exact checkpoint bytes an experiment evaluated.
+    """
+    from repro.telemetry.provenance import checkpoint_checksum
+
+    checksums: dict[str, str] = {}
+    for name in names if names is not None else ALL_ARTIFACTS:
+        if not has_artifact(name):
+            continue
+        checksum = checkpoint_checksum(artifacts_dir() / name)
+        if checksum is not None:
+            checksums[name] = checksum
+    return checksums
+
+
 # -- victims ---------------------------------------------------------------------
 
 

@@ -20,14 +20,27 @@ span timings; this package *reads* them:
   trace (or a directory of per-worker shards, multiplexed), renders a
   refreshing terminal view, and fires the watchdogs.
 * :mod:`repro.obsv.serve` — localhost HTTP server fronting one run:
-  live HTML dashboard, flamegraph, JSON query API, and a Server-Sent
-  -Events stream of new trace events and watchdog alerts.
+  live HTML dashboard, flamegraph, JSON query API, run comparison
+  (``/compare``), and a Server-Sent-Events stream of new trace events
+  and watchdog alerts.
+* :mod:`repro.obsv.compare` — statistical A/B comparison of recorded
+  runs (seeded bootstrap CIs, permutation tests, effect sizes, Holm
+  correction) and the metric-snapshot regression gate behind
+  ``obsv regress --metrics``.
 
 Entry point: ``python -m repro.obsv
-{forensics,replay,dashboard,regress,ingest,query,watch,serve}``.
+{forensics,replay,dashboard,compare,regress,ingest,query,watch,serve}``.
 """
 
 from repro.obsv.alerts import Alert, WatchConfig, Watchdog
+from repro.obsv.compare import (
+    RunComparison,
+    StatConfig,
+    compare_metric_snapshots,
+    compare_runs,
+    load_run,
+    metric_snapshot,
+)
 from repro.obsv.forensics import EpisodeForensics, Phase, analyze, segment_phases
 from repro.obsv.loader import EpisodeTrace, load_episodes, split_episodes
 from repro.obsv.regress import Breach, RegressionThresholds, compare_snapshots
@@ -38,6 +51,12 @@ from repro.obsv.watch import WatchState, watch_trace
 __all__ = [
     "Alert",
     "Breach",
+    "RunComparison",
+    "StatConfig",
+    "compare_metric_snapshots",
+    "compare_runs",
+    "load_run",
+    "metric_snapshot",
     "EpisodeForensics",
     "EpisodeTrace",
     "FieldDiff",

@@ -9,9 +9,18 @@ Subcommands:
 * ``dashboard <dir|store.sqlite>`` — aggregate traces + metrics + bench
   telemetry into markdown (or ``--html``); accepts either a run
   directory of JSONL traces or an ingested telemetry store.
+* ``compare <a> <b>`` — statistical A/B comparison of two recorded runs
+  (trace files, run directories, or stores; ``--run-a``/``--run-b``
+  pick logical runs inside a store): seeded bootstrap CIs, permutation
+  tests, effect sizes, Holm correction. Deterministic under a fixed
+  ``--stat-seed``; ``--json``/``--html`` for machine/browser output.
 * ``regress <current> <baseline>`` — compare bench telemetry snapshots
   (JSON files or stores holding one); exits 1 on threshold breaches
-  (``--json`` for the machine-readable breach report).
+  (``--json`` for the machine-readable breach report). With
+  ``--metrics`` the comparison is *scientific* instead: current
+  episode metrics (from a metric snapshot JSON, trace, run directory,
+  or store) are gated against a committed baseline's bootstrap CIs
+  (``benchmarks/BASELINE_metrics.json``).
 * ``profile [snapshot]`` — self-time attribution, FLOP rates, and
   allocation figures from a profile/bench snapshot (or ``--demo`` for a
   live in-process workload); ``--flamegraph`` renders the HTML
@@ -49,11 +58,12 @@ from repro.obsv.dashboard import (
 from repro.obsv.loader import load_episodes, select_episode
 from repro.obsv.store import (
     DEFAULT_STORE_NAME,
+    GROUP_KEYS,
     TelemetryStore,
     export_csv,
     is_store_path,
 )
-from repro.obsv.watch import watch_trace
+from repro.obsv.watch import DRIFT_MIN_N, watch_trace
 from repro.telemetry.log import get_logger
 
 log = get_logger("obsv")
@@ -142,7 +152,119 @@ def _load_bench_snapshot(path: str) -> dict:
     return json.loads(target.read_text(encoding="utf-8"))
 
 
+def _cmd_compare(args) -> int:
+    from repro.obsv import compare as compare_mod
+
+    stat = compare_mod.StatConfig(
+        stat_seed=args.stat_seed,
+        resamples=args.resamples,
+        confidence=args.confidence,
+        alpha=args.alpha,
+    )
+    episodes_a, prov_a, label_a = compare_mod.load_run(
+        args.a, label=args.run_a
+    )
+    if args.snapshot:
+        if not episodes_a:
+            sys.stderr.write(
+                f"compare: no complete episodes in {args.a}\n"
+            )
+            return 1
+        snapshot = compare_mod.metric_snapshot(
+            episodes_a, stat, provenance=prov_a
+        )
+        _emit(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n", args.out
+        )
+        return 0
+    if args.b is None:
+        sys.stderr.write("compare: run B is required (or use --snapshot)\n")
+        return 1
+    episodes_b, prov_b, label_b = compare_mod.load_run(
+        args.b, label=args.run_b
+    )
+    missing = [
+        source
+        for source, episodes in ((args.a, episodes_a), (args.b, episodes_b))
+        if not episodes
+    ]
+    if missing:
+        for source in missing:
+            sys.stderr.write(
+                f"compare: no complete episodes in {source}\n"
+            )
+        return 1
+    paired = {"auto": None, "yes": True, "no": False}[args.paired]
+    comparison = compare_mod.compare_runs(
+        episodes_a,
+        episodes_b,
+        stat=stat,
+        label_a=label_a,
+        label_b=label_b,
+        paired=paired,
+        provenance_a=prov_a,
+        provenance_b=prov_b,
+    )
+    if args.json:
+        _emit(
+            json.dumps(comparison.to_json(), indent=2, sort_keys=True) + "\n",
+            args.out,
+        )
+    else:
+        markdown = comparison.to_markdown()
+        _emit(to_html(markdown) if args.html else markdown, args.out)
+    return 0
+
+
+def _metrics_snapshot_from(path: str) -> dict:
+    """A metric snapshot document from a JSON file or a telemetry store."""
+    from repro.obsv import compare as compare_mod
+
+    target = Path(path)
+    if target.is_file() and is_store_path(target):
+        with TelemetryStore(target) as store:
+            for name in store.snapshots():
+                snapshot = store.snapshot(name)
+                if compare_mod.is_metric_snapshot(snapshot):
+                    return snapshot
+        raise SystemExit(f"store {path} holds no metric snapshot")
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SystemExit(f"regress: baseline not found: {path}")
+    except ValueError:
+        raise SystemExit(f"regress: baseline is not JSON: {path}")
+    if not compare_mod.is_metric_snapshot(document):
+        raise SystemExit(
+            f"regress: {path} is not a metric snapshot (kind != 'metrics')"
+        )
+    return document
+
+
+def _cmd_regress_metrics(args) -> int:
+    from repro.obsv import compare as compare_mod
+
+    baseline = _metrics_snapshot_from(args.baseline)
+    stat = compare_mod.stat_config_from_snapshot(baseline)
+    current = compare_mod.load_metric_source(args.current, stat)
+    if current is None:
+        sys.stderr.write(
+            f"regress: no metrics available from {args.current}\n"
+        )
+        return 1
+    breaches = compare_mod.compare_metric_snapshots(
+        current, baseline, min_n=args.min_n
+    )
+    if args.json:
+        sys.stdout.write(regress_mod.report_json(breaches))
+    else:
+        sys.stdout.write(regress_mod.report(breaches))
+    return 1 if breaches else 0
+
+
 def _cmd_regress(args) -> int:
+    if args.metrics:
+        return _cmd_regress_metrics(args)
     thresholds = regress_mod.RegressionThresholds.from_env()
     if args.max_ratio is not None:
         thresholds = regress_mod.RegressionThresholds(
@@ -276,6 +398,7 @@ def _cmd_query(args) -> int:
         filters = dict(
             kind=args.kind, episode=args.episode, loop=args.loop,
             run=args.run, name=args.name, worker=args.worker,
+            label=args.label,
         )
         if args.field and args.agg:
             rows = store.aggregate(
@@ -395,6 +518,8 @@ def _cmd_watch(args) -> int:
         write_alerts=not args.no_write_alerts,
         idle_exit=args.idle_exit,
         on_alert=args.on_alert,
+        baseline_metrics=args.baseline_metrics,
+        drift_min_n=args.drift_min_n,
     )
 
 
@@ -448,18 +573,89 @@ def build_parser() -> argparse.ArgumentParser:
     dash.add_argument("--out", help="write to this file instead of stdout")
     dash.set_defaults(fn=_cmd_dashboard)
 
+    comp = sub.add_parser(
+        "compare",
+        help="statistical A/B comparison of two recorded runs",
+    )
+    comp.add_argument(
+        "a", help="run A: JSONL trace, run directory, or telemetry store"
+    )
+    comp.add_argument(
+        "b", nargs="?", default=None,
+        help="run B: JSONL trace, run directory, or telemetry store"
+             " (omitted with --snapshot)",
+    )
+    comp.add_argument(
+        "--run-a", default=None,
+        help="logical run label inside store A (e.g. a sweep run id)",
+    )
+    comp.add_argument(
+        "--run-b", default=None,
+        help="logical run label inside store B",
+    )
+    comp.add_argument(
+        "--stat-seed", type=int, default=0,
+        help="seed of the bootstrap/permutation RNG (default 0; a fixed"
+             " seed makes every CI and p-value bit-reproducible)",
+    )
+    comp.add_argument(
+        "--resamples", type=int, default=2000,
+        help="bootstrap/permutation resamples (default 2000)",
+    )
+    comp.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="bootstrap CI level (default 0.95)",
+    )
+    comp.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="significance level before Holm correction (default 0.05)",
+    )
+    comp.add_argument(
+        "--paired", choices=("auto", "yes", "no"), default="auto",
+        help="pair episodes by seed (auto = when both sides ran the"
+             " same unique seeds)",
+    )
+    comp.add_argument("--json", action="store_true", help="emit JSON")
+    comp.add_argument(
+        "--html", action="store_true",
+        help="emit a self-contained HTML report",
+    )
+    comp.add_argument(
+        "--snapshot", action="store_true",
+        help="emit a metric snapshot of run A alone (the document"
+             " `regress --metrics` and `watch --baseline-metrics` read)"
+             " instead of comparing",
+    )
+    comp.add_argument("--out", help="write to this file instead of stdout")
+    comp.set_defaults(fn=_cmd_compare)
+
     regr = sub.add_parser(
         "regress", help="compare bench telemetry against a baseline"
     )
     regr.add_argument(
-        "current", help="current BENCH_telemetry.json (or telemetry store)"
+        "current",
+        help="current BENCH_telemetry.json (or telemetry store); with"
+             " --metrics: a metric snapshot JSON, trace, run directory,"
+             " or store",
     )
     regr.add_argument(
-        "baseline", help="baseline BENCH_telemetry.json (or telemetry store)"
+        "baseline",
+        help="baseline BENCH_telemetry.json (or telemetry store); with"
+             " --metrics: a committed metric snapshot, e.g."
+             " benchmarks/BASELINE_metrics.json",
     )
     regr.add_argument(
         "--max-ratio", type=float, default=None,
         help="wall-clock / span mean ratio treated as a breach",
+    )
+    regr.add_argument(
+        "--metrics", action="store_true",
+        help="gate scientific episode metrics against the baseline's"
+             " bootstrap CIs instead of span timings",
+    )
+    regr.add_argument(
+        "--min-n", type=int, default=5,
+        help="--metrics: skip samples smaller than this (default 5)",
     )
     regr.add_argument(
         "--json", action="store_true",
@@ -537,6 +733,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker id filter (events from shard trace.w<K>.jsonl)",
     )
     quer.add_argument(
+        "--label", default=None,
+        help="logical run label filter (the cross-process run id)",
+    )
+    quer.add_argument(
         "--field", help="numeric event field to extract/aggregate"
     )
     quer.add_argument(
@@ -545,8 +745,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     quer.add_argument(
         "--group-by",
-        choices=("kind", "episode", "loop", "run", "name", "worker"),
-        help="group the aggregate by this key",
+        choices=GROUP_KEYS,
+        help="group the aggregate by this key (provenance keys label /"
+             " git_sha / config_hash join each event to its run row)",
     )
     quer.add_argument("--limit", type=int, help="cap returned rows")
     quer.add_argument(
@@ -632,6 +833,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--on-alert", metavar="CMD", default=None,
         help="shell command run per alert (checkpoint-on-alert hook);"
              " sees REPRO_ALERT_* env vars",
+    )
+    wat.add_argument(
+        "--baseline-metrics", metavar="FILE", default=None,
+        help="metric snapshot (obsv compare --snapshot) to annotate"
+             " live per-cell drift against",
+    )
+    wat.add_argument(
+        "--drift-min-n", type=int, default=DRIFT_MIN_N,
+        help="live episodes per cell before drift is judged",
     )
     wat.add_argument("--q-limit", type=float, default=None,
                      help="q_divergence threshold on max |Q|")

@@ -25,6 +25,9 @@ from repro.core.injection import ACTIVE_THRESHOLD
 from repro.obsv.loader import EpisodeTrace, load_episodes
 from repro.obsv.render import fmt, markdown_table, sparkline
 
+#: Hex digits of git SHA / config hash shown in the provenance table.
+_SHORT_HASH = 10
+
 
 def _mean(values: list[float]) -> float | None:
     return sum(values) / len(values) if values else None
@@ -75,6 +78,78 @@ def _episode_rows(episodes: list[EpisodeTrace]) -> list[list[str]]:
     return rows
 
 
+def _scan_trace_provenance(path: Path) -> dict:
+    """Label + provenance summary of one trace file (dir-walk backend).
+
+    Mirrors the hoisting :meth:`repro.obsv.store.TelemetryStore.ingest_trace`
+    performs — the run label is the first cross-process ``run`` stamp, the
+    rest comes from the trace's ``provenance`` event — so the dashboard's
+    provenance table is byte-identical between both backends.
+    """
+    label = prov = None
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(event, dict):
+                    continue
+                if label is None and event.get("run") is not None:
+                    label = str(event["run"])
+                if prov is None and event.get("event") == "provenance":
+                    prov = event
+                if label is not None and prov is not None:
+                    break
+    except OSError:
+        pass
+    prov = prov or {}
+    return {
+        "source": path.name,
+        "label": label,
+        "git_sha": prov.get("git_sha"),
+        "dirty": prov.get("git_dirty"),
+        "config_hash": prov.get("config_hash"),
+    }
+
+
+def _short(value: str | None) -> str:
+    if not value:
+        return "-"
+    return value if value == "unknown" else value[:_SHORT_HASH]
+
+
+def _provenance_section(rows: list[dict] | None) -> list[str]:
+    """Markdown for the run-provenance table (empty when nothing known)."""
+    rows = rows or []
+    if not any(r.get("git_sha") or r.get("label") for r in rows):
+        return []
+    lines = ["## Run provenance", ""]
+    table = []
+    for row in sorted(rows, key=lambda r: str(r.get("source", ""))):
+        dirty = row.get("dirty")
+        table.append(
+            [
+                f"`{row.get('source', '?')}`",
+                str(row.get("label") or "-"),
+                _short(row.get("git_sha")),
+                "-" if dirty is None else ("yes" if dirty else "no"),
+                _short(row.get("config_hash")),
+            ]
+        )
+    lines.extend(
+        markdown_table(
+            ["trace", "run label", "git sha", "dirty", "config"], table
+        )
+    )
+    lines.append("")
+    return lines
+
+
 def _load_json(path: str | Path | None) -> dict | None:
     if path is None:
         return None
@@ -107,6 +182,7 @@ def _render_dashboard(
     bench: dict | None,
     bench_name: str,
     max_spans: int = 12,
+    provenance_rows: list[dict] | None = None,
 ) -> str:
     """Render the markdown document from already-loaded inputs.
 
@@ -138,6 +214,8 @@ def _render_dashboard(
     else:
         out(f"No episode traces (`*.jsonl`) found in `{source_label}`.")
     out("")
+
+    lines.extend(_provenance_section(provenance_rows))
 
     if metrics is not None:
         counters = metrics.get("counters", {})
@@ -204,8 +282,10 @@ def build_dashboard(
 
     trace_files = sorted(trace_dir.glob("*.jsonl"))
     episodes: list[EpisodeTrace] = []
+    provenance_rows: list[dict] = []
     for path in trace_files:
         episodes.extend(load_episodes(path))
+        provenance_rows.append(_scan_trace_provenance(path))
     return _render_dashboard(
         str(trace_dir),
         episodes,
@@ -215,6 +295,7 @@ def build_dashboard(
         _load_json(bench_path),
         Path(bench_path).name,
         max_spans=max_spans,
+        provenance_rows=provenance_rows,
     )
 
 
@@ -237,6 +318,18 @@ def build_dashboard_from_store(
         )
         metrics = store.snapshot("EXPERIMENTS_metrics.json")
         bench = store.snapshot("BENCH_telemetry.json")
+        provenance_rows = [
+            {
+                "source": Path(row["source"]).name,
+                "label": row["label"],
+                "git_sha": row["git_sha"],
+                "dirty": (
+                    None if row["dirty"] is None else bool(row["dirty"])
+                ),
+                "config_hash": row["config_hash"],
+            }
+            for row in store.run_provenance()
+        ]
     return _render_dashboard(
         source,
         episodes,
@@ -246,6 +339,7 @@ def build_dashboard_from_store(
         bench,
         "BENCH_telemetry.json",
         max_spans=max_spans,
+        provenance_rows=provenance_rows,
     )
 
 

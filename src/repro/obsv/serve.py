@@ -11,6 +11,9 @@ store) and exposes:
 * ``/dashboard.md``  — the markdown variant;
 * ``/flamegraph``    — self-contained HTML flamegraph built from the
   stored ``BENCH_telemetry.json`` / ``PROFILE_report.json`` span tree;
+* ``/compare``       — run-picker + side-by-side statistical comparison
+  (the ``obsv compare`` engine over two run labels or trace shards in
+  this store), with ``/api/compare`` returning the same report as JSON;
 * ``/api/status``, ``/api/runs``, ``/api/snapshots`` — JSON inventory;
 * ``/api/events``, ``/api/series``, ``/api/aggregate`` — the
   :class:`~repro.obsv.store.TelemetryStore` query API over HTTP, with
@@ -32,6 +35,7 @@ the server never fights a concurrent ``obsv ingest`` for the write lock.
 
 from __future__ import annotations
 
+import html as _html_mod
 import json
 import math
 import queue
@@ -41,7 +45,12 @@ from pathlib import Path
 from urllib.parse import parse_qs, urlparse
 
 from repro.obsv.alerts import WatchConfig, Watchdog
-from repro.obsv.dashboard import build_dashboard_from_store, to_html
+from repro.obsv.compare import StatConfig, compare_runs, load_run
+from repro.obsv.dashboard import (
+    _HTML_TEMPLATE,
+    build_dashboard_from_store,
+    to_html,
+)
 from repro.obsv.store import DEFAULT_STORE_NAME, TelemetryStore, is_store_path
 from repro.obsv.watch import TraceTail
 from repro.telemetry.context import shard_worker
@@ -354,6 +363,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._page_dashboard(html=False)
             elif route == "/flamegraph":
                 self._page_flamegraph()
+            elif route == "/compare":
+                self._page_compare(params)
+            elif route == "/api/compare":
+                self._api_compare(params)
             elif route == "/api/status":
                 self._api_status()
             elif route == "/api/runs":
@@ -414,6 +427,131 @@ class _Handler(BaseHTTPRequestHandler):
             ),
             "text/html; charset=utf-8",
         )
+
+    # -- comparison ---------------------------------------------------------------
+
+    def _compare_choices(self) -> tuple[list[str], list[str]]:
+        """(run labels, trace shard basenames) selectable for comparison."""
+        with self.app._store() as store:
+            rows = store.run_provenance()
+        labels = sorted({row["label"] for row in rows if row["label"]})
+        sources = sorted({Path(row["source"]).name for row in rows})
+        return labels, sources
+
+    def _load_side(self, value: str):
+        """Resolve one ``a``/``b`` parameter to (episodes, provenance, name).
+
+        A known run label queries the store; anything else must name a
+        trace shard inside the served run directory — arbitrary paths
+        are rejected so the HTTP surface cannot read outside the run.
+        """
+        labels, _ = self._compare_choices()
+        if value in labels:
+            return load_run(self.app.store_path, label=value)
+        trace_dir = self.app.trace_dir
+        if trace_dir is not None:
+            candidate = (trace_dir / value).resolve()
+            if (
+                candidate.parent == trace_dir.resolve()
+                and candidate.is_file()
+            ):
+                return load_run(candidate)
+        return [], None, value
+
+    def _run_comparison(self, a: str, b: str, params: dict):
+        """Build the RunComparison, or raise ValueError on bad params."""
+        paired_mode = params.get("paired", "auto")
+        if paired_mode not in ("auto", "yes", "no"):
+            raise ValueError("paired must be auto|yes|no")
+        stat = StatConfig(
+            stat_seed=int(params.get("stat_seed", 0)),
+            resamples=int(params.get("resamples", 2000)),
+            confidence=float(params.get("confidence", 0.95)),
+            alpha=float(params.get("alpha", 0.05)),
+        )
+        episodes_a, prov_a, name_a = self._load_side(a)
+        episodes_b, prov_b, name_b = self._load_side(b)
+        missing = [
+            name for name, episodes in
+            ((name_a, episodes_a), (name_b, episodes_b))
+            if not episodes
+        ]
+        if missing:
+            return None, missing
+        return compare_runs(
+            episodes_a,
+            episodes_b,
+            stat=stat,
+            label_a=name_a,
+            label_b=name_b,
+            paired={"auto": None, "yes": True, "no": False}[paired_mode],
+            provenance_a=prov_a,
+            provenance_b=prov_b,
+        ), []
+
+    def _compare_picker(self) -> str:
+        """The ``/compare`` landing page: pick two runs from the store."""
+        labels, sources = self._compare_choices()
+        options = "".join(
+            f'<option value="{_html_mod.escape(choice, quote=True)}">'
+            f"{_html_mod.escape(choice)}</option>"
+            for choice in labels + [s for s in sources if s not in labels]
+        )
+        if not options:
+            body = (
+                "<h1>Compare runs</h1>"
+                "<p>No trace runs ingested yet — nothing to compare.</p>"
+            )
+        else:
+            body = (
+                "<h1>Compare runs</h1>"
+                '<form method="get" action="/compare">'
+                f'<p>A <select name="a">{options}</select> '
+                f'vs B <select name="b">{options}</select></p>'
+                '<p>stat seed <input name="stat_seed" value="0" size="6"> '
+                'resamples <input name="resamples" value="2000" size="6"> '
+                'paired <select name="paired">'
+                "<option>auto</option><option>yes</option>"
+                "<option>no</option></select> "
+                '<button type="submit">Compare</button></p>'
+                "</form>"
+                f"<p>{len(labels)} run label(s), {len(sources)} trace"
+                " shard(s) available.</p>"
+            )
+        return _HTML_TEMPLATE.format(body=body)
+
+    def _page_compare(self, params: dict) -> None:
+        self.app.refresh_store()
+        a, b = params.get("a"), params.get("b")
+        if not a or not b:
+            self._send(self._compare_picker(), "text/html; charset=utf-8")
+            return
+        comparison, missing = self._run_comparison(a, b, params)
+        if comparison is None:
+            self._error(
+                404,
+                "no complete episodes for: " + ", ".join(missing),
+            )
+            return
+        self._send(
+            to_html(comparison.to_markdown()), "text/html; charset=utf-8"
+        )
+
+    def _api_compare(self, params: dict) -> None:
+        a, b = params.get("a"), params.get("b")
+        if not a or not b:
+            labels, sources = self._compare_choices()
+            self._send_json({"labels": labels, "sources": sources})
+            return
+        self.app.refresh_store()
+        comparison, missing = self._run_comparison(a, b, params)
+        if comparison is None:
+            self._error(
+                404,
+                "no complete episodes for: " + ", ".join(missing),
+            )
+            return
+        self._send_json(comparison.to_json())
 
     # -- JSON API -----------------------------------------------------------------
 

@@ -8,11 +8,17 @@ files and metrics/bench snapshots into an indexed SQLite database
 dashboard, ``repro.obsv regress``, and the ``query`` subcommand — hit
 indexes instead of re-decoding JSON lines.
 
-Layout (schema version 3):
+Layout (schema version 4):
 
 * ``runs``      — one row per ingested source file (trace or snapshot),
   keyed by absolute path with mtime/size for change detection; re-ingest
-  of an unchanged file is a no-op, a changed file is replaced.
+  of an unchanged file is a no-op, a changed file is replaced. Since v4
+  each trace run also hoists its **provenance**: the logical run label
+  (the cross-process ``run`` context stamp), the git SHA / dirty flag /
+  config hash from the trace's ``provenance`` event
+  (:mod:`repro.telemetry.provenance`), and the full provenance payload —
+  so "which runs came from commit X with config Y?" is one indexed
+  query, and aggregates can group by run label, git SHA, or config hash.
 * ``events``    — one row per trace event. The full record is kept as a
   JSON payload column; the hot filter fields (kind, episode, loop, step,
   tick, t, name, worker) are hoisted into indexed columns. ``name``
@@ -57,13 +63,19 @@ log = get_logger("obsv.store")
 #: Default store filename inside an ingested run directory.
 DEFAULT_STORE_NAME = "obsv.sqlite"
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Aggregations exposed by :meth:`TelemetryStore.aggregate` / the CLI.
 AGGREGATES = ("count", "mean", "min", "max", "sum")
 
+#: Provenance keys (hoisted onto ``runs`` in v4) usable as GROUP BY keys;
+#: grouping by one joins events to their run row.
+PROVENANCE_KEYS = ("label", "git_sha", "config_hash")
+
 #: Columns usable as GROUP BY keys (all indexed or trivially cheap).
-GROUP_KEYS = ("kind", "episode", "loop", "run", "name", "worker")
+GROUP_KEYS = (
+    "kind", "episode", "loop", "run", "name", "worker"
+) + PROVENANCE_KEYS
 
 _DDL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -71,12 +83,17 @@ CREATE TABLE IF NOT EXISTS meta (
     value TEXT NOT NULL
 );
 CREATE TABLE IF NOT EXISTS runs (
-    run_id  INTEGER PRIMARY KEY AUTOINCREMENT,
-    source  TEXT NOT NULL UNIQUE,
-    kind    TEXT NOT NULL,
-    mtime   REAL NOT NULL,
-    size    INTEGER NOT NULL,
-    events  INTEGER NOT NULL DEFAULT 0
+    run_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    source      TEXT NOT NULL UNIQUE,
+    kind        TEXT NOT NULL,
+    mtime       REAL NOT NULL,
+    size        INTEGER NOT NULL,
+    events      INTEGER NOT NULL DEFAULT 0,
+    label       TEXT,
+    git_sha     TEXT,
+    dirty       INTEGER,
+    config_hash TEXT,
+    provenance  TEXT
 );
 CREATE TABLE IF NOT EXISTS events (
     run_id  INTEGER NOT NULL REFERENCES runs(run_id),
@@ -103,6 +120,13 @@ CREATE TABLE IF NOT EXISTS snapshots (
 """
 
 
+#: The ``runs`` columns selected into :class:`RunInfo`, in field order.
+_RUN_COLUMNS = (
+    "run_id, source, kind, events, mtime, size,"
+    " label, git_sha, dirty, config_hash"
+)
+
+
 @dataclass(frozen=True)
 class RunInfo:
     """One ingested source file."""
@@ -113,6 +137,14 @@ class RunInfo:
     events: int
     mtime: float
     size: int
+    #: Logical run label (the cross-process ``run`` context stamp).
+    label: str | None = None
+    #: Git revision from the trace's provenance event.
+    git_sha: str | None = None
+    #: 1 when the working tree had uncommitted changes (None = unknown).
+    dirty: int | None = None
+    #: Scenario-config hash from the trace's provenance event.
+    config_hash: str | None = None
 
 
 def is_store_path(path: str | Path) -> bool:
@@ -248,6 +280,64 @@ class TelemetryStore:
                                 " WHERE run_id = ? AND seq = ?",
                                 (int(value), run_id, seq),
                             )
+            if from_version < 4:
+                columns = {
+                    row[1]
+                    for row in conn.execute("PRAGMA table_info(runs)")
+                }
+                for column, col_type in (
+                    ("label", "TEXT"),
+                    ("git_sha", "TEXT"),
+                    ("dirty", "INTEGER"),
+                    ("config_hash", "TEXT"),
+                    ("provenance", "TEXT"),
+                ):
+                    if column not in columns:
+                        conn.execute(
+                            f"ALTER TABLE runs ADD COLUMN {column} {col_type}"
+                        )
+                # Backfill each trace run from its stored events: the
+                # label is the first cross-process `run` stamp, the rest
+                # comes from the trace's provenance event (pre-v4 traces
+                # usually have neither — their columns stay NULL).
+                run_ids = [
+                    row[0]
+                    for row in conn.execute(
+                        "SELECT run_id FROM runs WHERE kind = 'trace'"
+                    )
+                ]
+                for run_id in run_ids:
+                    label = prov = None
+                    for (payload,) in conn.execute(
+                        "SELECT payload FROM events WHERE run_id = ?"
+                        " ORDER BY seq",
+                        (run_id,),
+                    ):
+                        event = json.loads(payload)
+                        if label is None and event.get("run") is not None:
+                            label = str(event["run"])
+                        if prov is None and event.get("event") == "provenance":
+                            prov = event
+                        if label is not None and prov is not None:
+                            break
+                    if label is None and prov is None:
+                        continue
+                    conn.execute(
+                        "UPDATE runs SET label = ?, git_sha = ?, dirty = ?,"
+                        " config_hash = ?, provenance = ? WHERE run_id = ?",
+                        (
+                            label,
+                            None if prov is None else prov.get("git_sha"),
+                            None
+                            if prov is None
+                            else int(bool(prov.get("git_dirty"))),
+                            None if prov is None else prov.get("config_hash"),
+                            None
+                            if prov is None
+                            else json.dumps(prov, separators=(",", ":")),
+                            run_id,
+                        ),
+                    )
             conn.execute(
                 "INSERT INTO meta (key, value) VALUES ('schema_version', ?) "
                 "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
@@ -340,8 +430,7 @@ class TelemetryStore:
 
     def _existing_run(self, source: str) -> RunInfo | None:
         row = self._conn.execute(
-            "SELECT run_id, source, kind, events, mtime, size "
-            "FROM runs WHERE source = ?",
+            f"SELECT {_RUN_COLUMNS} FROM runs WHERE source = ?",
             (source,),
         ).fetchone()
         return None if row is None else RunInfo(*row)
@@ -368,6 +457,25 @@ class TelemetryStore:
             return existing
         events = [e for e in read_trace(path) if not validate_event(e)]
         worker_hint = shard_worker(path)
+        # Hoist provenance onto the run row: the logical run label (first
+        # cross-process `run` stamp) and the trace's provenance event.
+        label = next(
+            (
+                str(e["run"])
+                for e in events
+                if e.get("run") is not None
+            ),
+            None,
+        )
+        prov = next(
+            (e for e in events if e.get("event") == "provenance"), None
+        )
+        git_sha = None if prov is None else prov.get("git_sha")
+        dirty = None if prov is None else int(bool(prov.get("git_dirty")))
+        config_hash = None if prov is None else prov.get("config_hash")
+        prov_json = (
+            None if prov is None else json.dumps(prov, separators=(",", ":"))
+        )
 
         def txn(conn: sqlite3.Connection) -> int:
             # Re-check under the write lock: another process may have
@@ -388,9 +496,13 @@ class TelemetryStore:
                     "DELETE FROM runs WHERE run_id = ?", (row[0],)
                 )
             cursor = conn.execute(
-                "INSERT INTO runs (source, kind, mtime, size, events) "
-                "VALUES (?, 'trace', ?, ?, ?)",
-                (str(path), mtime, size, len(events)),
+                "INSERT INTO runs (source, kind, mtime, size, events,"
+                " label, git_sha, dirty, config_hash, provenance) "
+                "VALUES (?, 'trace', ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    str(path), mtime, size, len(events),
+                    label, git_sha, dirty, config_hash, prov_json,
+                ),
             )
             run_id = cursor.lastrowid
             conn.executemany(
@@ -424,7 +536,10 @@ class TelemetryStore:
             return run_id
 
         run_id = self._write(txn)
-        return RunInfo(run_id, str(path), "trace", len(events), mtime, size)
+        return RunInfo(
+            run_id, str(path), "trace", len(events), mtime, size,
+            label, git_sha, dirty, config_hash,
+        )
 
     def ingest_snapshot(
         self, path: str | Path, name: str | None = None
@@ -496,10 +611,47 @@ class TelemetryStore:
 
     def runs(self) -> list[RunInfo]:
         rows = self._conn.execute(
-            "SELECT run_id, source, kind, events, mtime, size "
-            "FROM runs ORDER BY run_id"
+            f"SELECT {_RUN_COLUMNS} FROM runs ORDER BY run_id"
         ).fetchall()
         return [RunInfo(*row) for row in rows]
+
+    def run_provenance(self, run: int | None = None) -> list[dict]:
+        """Provenance rows for ingested trace runs.
+
+        One dict per trace run: ``run_id``, ``source``, ``label``,
+        ``git_sha``, ``dirty``, ``config_hash``, ``events`` plus the full
+        decoded ``provenance`` payload (None for pre-provenance traces).
+        """
+        sql = (
+            "SELECT run_id, source, label, git_sha, dirty, config_hash,"
+            " events, provenance FROM runs WHERE kind = 'trace'"
+        )
+        params: list = []
+        if run is not None:
+            sql += " AND run_id = ?"
+            params.append(int(run))
+        sql += " ORDER BY run_id"
+        rows = []
+        for row in self._conn.execute(sql, params):
+            payload = None
+            if row[7]:
+                try:
+                    payload = json.loads(row[7])
+                except ValueError:
+                    payload = None
+            rows.append(
+                {
+                    "run_id": row[0],
+                    "source": row[1],
+                    "label": row[2],
+                    "git_sha": row[3],
+                    "dirty": row[4],
+                    "config_hash": row[5],
+                    "events": row[6],
+                    "provenance": payload,
+                }
+            )
+        return rows
 
     def _where(
         self,
@@ -509,26 +661,40 @@ class TelemetryStore:
         run: int | None,
         name: str | None = None,
         worker: int | None = None,
+        label: str | None = None,
+        prefix: str = "",
     ) -> tuple[str, list]:
+        """Build the filter clause.
+
+        ``label`` selects events whose run row carries that logical run
+        label (a subquery, so it works without joining). ``prefix``
+        qualifies the event columns (``"e."``) for joined queries where
+        ``kind`` / ``run_id`` would otherwise be ambiguous.
+        """
         clauses, params = [], []
         if kind is not None:
-            clauses.append("kind = ?")
+            clauses.append(f"{prefix}kind = ?")
             params.append(kind)
         if episode is not None:
-            clauses.append("episode = ?")
+            clauses.append(f"{prefix}episode = ?")
             params.append(str(episode))
         if loop is not None:
-            clauses.append("loop = ?")
+            clauses.append(f"{prefix}loop = ?")
             params.append(loop)
         if run is not None:
-            clauses.append("run_id = ?")
+            clauses.append(f"{prefix}run_id = ?")
             params.append(int(run))
         if name is not None:
-            clauses.append("name = ?")
+            clauses.append(f"{prefix}name = ?")
             params.append(name)
         if worker is not None:
-            clauses.append("worker = ?")
+            clauses.append(f"{prefix}worker = ?")
             params.append(int(worker))
+        if label is not None:
+            clauses.append(
+                f"{prefix}run_id IN (SELECT run_id FROM runs WHERE label = ?)"
+            )
+            params.append(str(label))
         where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
         return where, params
 
@@ -541,9 +707,12 @@ class TelemetryStore:
         limit: int | None = None,
         name: str | None = None,
         worker: int | None = None,
+        label: str | None = None,
     ) -> list[dict]:
         """Decoded event records in ingestion order."""
-        where, params = self._where(kind, episode, loop, run, name, worker)
+        where, params = self._where(
+            kind, episode, loop, run, name, worker, label
+        )
         sql = f"SELECT payload FROM events{where} ORDER BY run_id, seq"
         if limit is not None:
             sql += " LIMIT ?"
@@ -553,14 +722,17 @@ class TelemetryStore:
             for row in self._conn.execute(sql, params)
         ]
 
-    def episodes(self, run: int | None = None) -> list[EpisodeTrace]:
+    def episodes(
+        self, run: int | None = None, label: str | None = None
+    ) -> list[EpisodeTrace]:
         """Episode buckets rebuilt from stored events.
 
         Events are grouped per source trace file (run) before splitting,
         exactly as the JSONL loader does per file, so episode ids reused
-        across files do not merge.
+        across files do not merge. ``label`` restricts to the trace files
+        of one logical run (e.g. every shard of a sweep).
         """
-        where, params = self._where(None, None, None, run)
+        where, params = self._where(None, None, None, run, label=label)
         sql = (
             f"SELECT run_id, payload FROM events{where} ORDER BY run_id, seq"
         )
@@ -607,10 +779,13 @@ class TelemetryStore:
         run: int | None = None,
         name: str | None = None,
         worker: int | None = None,
+        label: str | None = None,
     ) -> list[float]:
         """One numeric event field over time (events lacking it skipped)."""
         self._check_field(field)
-        where, params = self._where(kind, episode, loop, run, name, worker)
+        where, params = self._where(
+            kind, episode, loop, run, name, worker, label
+        )
         if self._json1:
             sql = (
                 f"SELECT json_extract(payload, '$.{field}') "
@@ -627,7 +802,8 @@ class TelemetryStore:
         return [
             float(event[field])
             for event in self.events(
-                kind, episode, loop, run, name=name, worker=worker
+                kind, episode, loop, run, name=name, worker=worker,
+                label=label,
             )
             if field in event and event[field] is not None
         ]
@@ -643,11 +819,15 @@ class TelemetryStore:
         group_by: str | None = None,
         name: str | None = None,
         worker: int | None = None,
+        label: str | None = None,
     ) -> list[tuple]:
         """Aggregate one event field, optionally grouped.
 
         Returns ``[(value,)]`` ungrouped or ``[(group, value), ...]``
-        grouped by one of :data:`GROUP_KEYS`.
+        grouped by one of :data:`GROUP_KEYS`. Grouping by a provenance
+        key (:data:`PROVENANCE_KEYS`) joins each event to its run row,
+        so one query answers "collision delta per git SHA" across a
+        store holding many ingested runs.
         """
         if agg not in AGGREGATES:
             raise ValueError(f"agg must be one of {AGGREGATES}, got {agg!r}")
@@ -655,10 +835,14 @@ class TelemetryStore:
             raise ValueError(
                 f"group_by must be one of {GROUP_KEYS}, got {group_by!r}"
             )
+        joined = group_by in PROVENANCE_KEYS
         group_col = "run_id" if group_by == "run" else group_by
+        if joined:
+            group_col = f"r.{group_by}"
         if self._json1:
             self._check_field(field)
-            expr = f"json_extract(payload, '$.{field}')"
+            prefix = "e." if joined else ""
+            expr = f"json_extract({prefix}payload, '$.{field}')"
             sql_agg = {
                 "count": f"COUNT({expr})",
                 "mean": f"AVG({expr})",
@@ -667,17 +851,22 @@ class TelemetryStore:
                 "sum": f"SUM({expr})",
             }[agg]
             where, params = self._where(
-                kind, episode, loop, run, name, worker
+                kind, episode, loop, run, name, worker, label, prefix=prefix
             )
             not_null = f"{expr} IS NOT NULL"
             where = (
                 where + f" AND {not_null}" if where else f" WHERE {not_null}"
             )
+            table = (
+                "events e JOIN runs r ON e.run_id = r.run_id"
+                if joined
+                else "events"
+            )
             if group_col is None:
-                sql = f"SELECT {sql_agg} FROM events{where}"
+                sql = f"SELECT {sql_agg} FROM {table}{where}"
             else:
                 sql = (
-                    f"SELECT {group_col}, {sql_agg} FROM events{where} "
+                    f"SELECT {group_col}, {sql_agg} FROM {table}{where} "
                     f"GROUP BY {group_col} ORDER BY {group_col}"
                 )
             try:
@@ -685,15 +874,26 @@ class TelemetryStore:
             except sqlite3.OperationalError:
                 pass  # NaN/Infinity payloads are not valid JSON for json1
         return self._aggregate_python(
-            field, agg, kind, episode, loop, run, group_by, name, worker
+            field, agg, kind, episode, loop, run, group_by, name, worker,
+            label,
         )
 
     def _aggregate_python(
         self, field, agg, kind, episode, loop, run, group_by, name=None,
-        worker=None,
+        worker=None, label=None,
     ) -> list[tuple]:
-        where, params = self._where(kind, episode, loop, run, name, worker)
+        where, params = self._where(
+            kind, episode, loop, run, name, worker, label
+        )
         sql = f"SELECT run_id, payload FROM events{where} ORDER BY run_id, seq"
+        run_keys: dict[int, object] | None = None
+        if group_by in PROVENANCE_KEYS:
+            # Map each source run row to its provenance key up front (the
+            # Python twin of the json1 path's JOIN).
+            run_keys = {
+                info.run_id: getattr(info, group_by)
+                for info in self.runs()
+            }
         groups: dict[object, list[float]] = {}
         for run_id, payload in self._conn.execute(sql, params):
             event = json.loads(payload)
@@ -703,6 +903,8 @@ class TelemetryStore:
                 key = None
             elif group_by == "run":
                 key = run_id
+            elif run_keys is not None:
+                key = run_keys.get(run_id)
             else:
                 key = event.get(
                     "event" if group_by == "kind" else group_by

@@ -28,6 +28,13 @@ appear mid-run are picked up on the next poll, events missing a
 ``worker`` stamp inherit the id from their shard filename, loops are
 displayed (and watchdog'd) per worker as ``<loop>@w<k>``, and fired
 alerts are appended to ``<dir>/alerts.jsonl`` instead of any one shard.
+
+With ``baseline_metrics`` (a metric snapshot from ``obsv compare
+--snapshot`` / ``benchmarks/BASELINE_metrics.json``), the view also
+annotates **scientific drift**: per (victim, attacker, budget) cell,
+episode-end metrics (collision rate, attack success, steps, returns)
+accumulate live, and any cell mean that leaves the baseline's bootstrap
+CI is flagged — the live twin of ``obsv regress --metrics``.
 """
 
 from __future__ import annotations
@@ -184,6 +191,10 @@ class WatchState:
     loops: dict = field(default_factory=dict)
     alerts: dict = field(default_factory=dict)  # (rule, loop) -> Alert
     workers: set = field(default_factory=set)  # worker ids seen
+    #: Live episode-end metric samples per (victim|attacker|budget) cell
+    #: — the inputs to the baseline-drift annotations.
+    cells: dict = field(default_factory=dict)
+    _episode_cell: dict = field(default_factory=dict)
 
     def loop(self, name: str) -> _LoopView:
         view = self.loops.get(name)
@@ -218,6 +229,29 @@ class WatchState:
                     getattr(view, name).append(float(value))
         elif kind == "episode_start":
             self.episodes_seen += 1
+            if event.get("victim") is not None:
+                budget = float(event.get("budget") or 0.0)
+                self._episode_cell[event.get("episode")] = (
+                    f"{event.get('victim')}|{event.get('attacker')}"
+                    f"|{budget:.2f}"
+                )
+        elif kind == "episode_end":
+            key = self._episode_cell.pop(event.get("episode"), None)
+            if key is not None:
+                samples = self.cells.setdefault(key, {})
+                collision = event.get("collision")
+                samples.setdefault("collision", []).append(
+                    float(collision is not None)
+                )
+                samples.setdefault("attack_success", []).append(
+                    float(collision == "SIDE")
+                )
+                for name in (
+                    "steps", "nominal_return", "adversarial_return"
+                ):
+                    value = event.get(name)
+                    if isinstance(value, (int, float)):
+                        samples.setdefault(name, []).append(float(value))
         elif kind == "tick":
             self.ticks_seen += 1
         elif kind == "alert":
@@ -237,6 +271,63 @@ class WatchState:
         self.alerts.setdefault((alert.rule, alert.loop), alert)
 
 
+#: Minimum live episodes per cell before drift is judged (small samples
+#: leave any CI constantly and would make the annotation pure noise).
+DRIFT_MIN_N = 5
+
+
+def load_baseline_metrics(path: str | Path) -> dict | None:
+    """A metric snapshot document for drift annotations (None on failure).
+
+    Degrades instead of raising: a missing / non-JSON / wrong-kind file
+    logs a warning and the watch simply runs without drift annotations.
+    """
+    from repro.obsv.compare import is_metric_snapshot
+
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        log.warning(
+            "watch.baseline_unreadable", path=str(path), error=str(error)
+        )
+        return None
+    if not is_metric_snapshot(document):
+        log.warning("watch.baseline_not_metrics", path=str(path))
+        return None
+    return document
+
+
+def metric_drift(
+    state: WatchState, baseline: dict, min_n: int = DRIFT_MIN_N
+) -> list[tuple[str, str, float, int, float, float]]:
+    """Cells whose live metric mean left the baseline's bootstrap CI.
+
+    Returns ``(cell, metric, live_mean, n, ci_lo, ci_hi)`` rows, sorted;
+    cells/metrics absent from the baseline — or with fewer than
+    ``min_n`` live episodes — are skipped, not flagged.
+    """
+    rows = []
+    cells = (baseline or {}).get("cells") or {}
+    for key, samples in sorted(state.cells.items()):
+        base_cell = cells.get(key)
+        if not isinstance(base_cell, dict):
+            continue
+        base_metrics = base_cell.get("metrics") or {}
+        for metric, values in sorted(samples.items()):
+            base = base_metrics.get(metric)
+            if not isinstance(base, dict) or len(values) < min_n:
+                continue
+            ci = base.get("ci") or []
+            if len(ci) != 2:
+                continue
+            mean = sum(values) / len(values)
+            lo, hi = float(ci[0]), float(ci[1])
+            if mean < lo - 1e-9 or mean > hi + 1e-9:
+                rows.append((key, metric, mean, len(values), lo, hi))
+    return rows
+
+
 def _eta_s(view: _LoopView, total_steps: int | None) -> float | None:
     if not total_steps or view.step >= total_steps:
         return None
@@ -251,6 +342,8 @@ def render_status(
     path: str | Path,
     total_steps: int | None = None,
     width: int = 48,
+    baseline: dict | None = None,
+    drift_min_n: int = DRIFT_MIN_N,
 ) -> str:
     """The full refreshing terminal view as one multi-line string."""
     header = f"repro.obsv watch — {path} ({state.events} events)"
@@ -325,6 +418,18 @@ def render_status(
             )
     else:
         lines.append("alerts: none")
+    if baseline is not None:
+        drifted = metric_drift(state, baseline, min_n=drift_min_n)
+        if drifted:
+            lines.append("metric drift vs baseline:")
+            for key, metric, mean, n, lo, hi in drifted:
+                lines.append(
+                    f"  [DRIFT] {key} {metric}: live {fmt(mean, 3)}"
+                    f" (n={n}) outside CI"
+                    f" [{fmt(lo, 3)}, {fmt(hi, 3)}]"
+                )
+        else:
+            lines.append("metric drift vs baseline: none")
     return "\n".join(lines) + "\n"
 
 
@@ -353,6 +458,8 @@ def watch_trace(
     write_alerts: bool = True,
     idle_exit: float | None = None,
     on_alert: str | None = None,
+    baseline_metrics: str | Path | dict | None = None,
+    drift_min_n: int = DRIFT_MIN_N,
     out=None,
     clock=time.monotonic,
     sleep=time.sleep,
@@ -363,11 +470,19 @@ def watch_trace(
     (multiplexed; see module docstring). Returns 0, or 1 when
     ``exit_on_alert`` is set and any rule fired. ``idle_exit`` stops the
     follow loop after that many seconds without new events (None =
-    follow until interrupted).
+    follow until interrupted). ``baseline_metrics`` (a snapshot path or
+    already-decoded document) switches on live drift annotations.
     """
     path = Path(path)
     out = out if out is not None else sys.stdout
     interval = poll_interval(poll)
+    baseline: dict | None
+    if isinstance(baseline_metrics, dict):
+        baseline = baseline_metrics
+    elif baseline_metrics is not None:
+        baseline = load_baseline_metrics(baseline_metrics)
+    else:
+        baseline = None
     if path.is_dir():
         tail: TraceTail | MultiTail = MultiTail(path)
         alert_sink = path / "alerts.jsonl"
@@ -415,7 +530,12 @@ def watch_trace(
                     _run_alert_hook(on_alert, alert, alert_sink)
             if is_tty and not once:
                 out.write("\x1b[2J\x1b[H")  # clear + home between refreshes
-            out.write(render_status(state, path, total_steps))
+            out.write(
+                render_status(
+                    state, path, total_steps,
+                    baseline=baseline, drift_min_n=drift_min_n,
+                )
+            )
             out.flush()
             if once:
                 break

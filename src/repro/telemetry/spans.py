@@ -242,6 +242,48 @@ class Tracer:
             return _NULL_SPAN
         return _LiveSpan(self, name)
 
+    def record(
+        self,
+        path: str,
+        duration: float,
+        start: float | None = None,
+        parent: str | None = None,
+    ) -> None:
+        """Record an externally-timed span at an explicit ``path``.
+
+        The batch-episode engine runs N episodes under one
+        ``episode_batch`` span; after the fact it attributes each
+        episode's share of that wall-clock as a child span here, giving
+        batch runs the same per-episode span coverage as the scalar path
+        without N redundant timers in the lockstep loop. Mirrors
+        ``_LiveSpan.__exit__``: aggregate stats, parent ``child_total``
+        credit (so the parent's self time stays exact), and the raw
+        event for the Chrome export when ``record_events`` is on. No-op
+        while the tracer is disabled.
+        """
+        if not self.enabled:
+            return
+        stats = self._stats.get(path)
+        if stats is None:
+            stats = self._stats[path] = SpanStats()
+        stats.add(duration)
+        if parent:
+            parent_stats = self._stats.get(parent)
+            if parent_stats is None:
+                parent_stats = self._stats[parent] = SpanStats()
+            parent_stats.child_total += duration
+        if self.record_events:
+            if len(self.events) < MAX_RAW_EVENTS:
+                self.events.append(
+                    (
+                        path,
+                        start if start is not None else time.perf_counter(),
+                        duration,
+                    )
+                )
+            else:
+                self._drop_event()
+
     def reset(self) -> None:
         self._stats.clear()
         self.events.clear()

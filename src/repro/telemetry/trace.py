@@ -166,6 +166,26 @@ SCHEMAS: dict[str, dict[str, dict[str, tuple]]] = {
             "intensity": _NUMBER,
         },
     },
+    "provenance": {
+        #: What produced this run (written once per trace, before the
+        #: first ``episode_start``): git revision, scenario-config hash,
+        #: checkpoint checksums, and the ``REPRO_*`` env snapshot. See
+        #: :mod:`repro.telemetry.provenance`.
+        "required": {
+            "schema": (int,),
+            "git_sha": (str,),
+            "git_dirty": (bool,),
+            "config_hash": (str,),
+        },
+        "optional": {
+            #: Checkpoint name -> ``sha256:...`` content checksum.
+            "weights": (dict,),
+            #: ``REPRO_*`` environment variables at collection time.
+            "env": (dict,),
+            "python": (str,),
+            "numpy": (str,),
+        },
+    },
 }
 
 

@@ -92,7 +92,7 @@ class TestLoader:
     def test_new_optional_fields_are_schema_valid(self):
         events = oracle_episode()
         assert validate_trace(events) == []
-        start = events[0]
+        start = next(e for e in events if e["event"] == "episode_start")
         assert start["budget"] == 1.0
         assert start["scenario"] == "default"
         ticks = [e for e in events if e["event"] == "tick"]

@@ -361,7 +361,7 @@ class TestSchemaMigration:
     def test_v1_store_migrates_in_place(self, tmp_path):
         path = make_v1_store(tmp_path / "old.sqlite")
         with TelemetryStore(path) as store:
-            assert store.get_meta("schema_version") == "3"
+            assert store.get_meta("schema_version") == "4"
             # name backfilled from payloads: the old rows are filterable
             rows = store.events(kind="profile", name="episode")
             assert len(rows) == 1 and rows[0]["calls"] == 2
@@ -372,7 +372,7 @@ class TestSchemaMigration:
         path = make_v1_store(tmp_path / "old.sqlite")
         TelemetryStore(path).close()  # migrate
         with TelemetryStore(path) as store:  # reopen: no-op
-            assert store.get_meta("schema_version") == "3"
+            assert store.get_meta("schema_version") == "4"
             rows = store.aggregate(
                 "self_s", agg="sum", kind="profile", group_by="name"
             )

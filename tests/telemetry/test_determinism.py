@@ -133,20 +133,41 @@ def test_parallel_sweep_bit_identical_to_serial(tmp_path):
     def trajectory(out_dir):
         """Trace records per shard, minus process-dependent stamps.
 
-        ``pid`` differs between runs by construction, and ``span``
-        events carry wall-clock timings — both are identity/timing
-        metadata, not trajectory. Everything else must match bit-for-bit
-        (the serial path shards identically: worker k gets seeds k::2).
+        ``pid`` differs between runs by construction, ``span`` events
+        carry wall-clock timings, and the ``provenance`` preamble is
+        run metadata (checked separately below) — none are trajectory.
+        Everything else must match bit-for-bit (the serial path shards
+        identically: worker k gets seeds k::2).
         """
         records = {}
         for shard in sorted(out_dir.glob("trace.w*.jsonl")):
             events = [
                 {key: value for key, value in event.items() if key != "pid"}
                 for event in read_trace(shard)
-                if event.get("event") != "span"
+                if event.get("event") not in ("span", "provenance")
             ]
             records[shard.name] = events
         return records
+
+    def provenance(out_dir):
+        """One provenance preamble per shard, identical across shards
+        and execution strategies once process identity is stripped."""
+        blocks = []
+        for shard in sorted(out_dir.glob("trace.w*.jsonl")):
+            events = list(read_trace(shard))
+            stamps = [e for e in events if e["event"] == "provenance"]
+            assert len(stamps) == 1, f"{shard.name}: want 1 provenance"
+            assert events[0] is stamps[0], (
+                f"{shard.name}: provenance must open the shard"
+            )
+            blocks.append(
+                {
+                    k: v
+                    for k, v in stamps[0].items()
+                    if k not in ("pid", "worker")
+                }
+            )
+        return blocks
 
     serial_two_way = run_sweep(
         n_episodes=4, workers=1, out_dir=tmp_path / "serial2",
@@ -176,6 +197,14 @@ def test_parallel_sweep_bit_identical_to_serial(tmp_path):
     serial_grouped = by_episode(serial_events)
     parallel_grouped = by_episode(parallel_events)
     assert set(serial_grouped) == set(parallel_grouped) == {0, 1, 2, 3}
+
+    # Every shard carries the same provenance block regardless of how
+    # the sweep was distributed: the pool workers inherit it through the
+    # environment, the serial path stamps it directly.
+    serial_prov = provenance(tmp_path / "serial")
+    parallel_prov = provenance(tmp_path / "parallel")
+    assert serial_prov and parallel_prov
+    assert all(block == serial_prov[0] for block in parallel_prov)
     for episode in serial_grouped:
         # Worker assignment differs (serial packs everything into w0),
         # so compare after dropping the worker stamp too.
